@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation — cost-effective line sizes (Alpert & Flynn, the
+ * paper's reference [6], motivating its Sec. 2 remark that
+ * optimising hit ratio alone "may not produce a cost-effective
+ * system").  At fixed capacity, larger lines cut tag/state
+ * overhead; the delay-area product can therefore prefer a larger
+ * line than Smith's pure-delay optimum.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "linesize/cost_model.hh"
+#include "linesize/line_tradeoff.hh"
+
+using namespace uatm;
+
+int
+main()
+{
+    bench::banner("Ablation: cost-effectiveness",
+                  "delay vs silicon area per line size "
+                  "(16K 2-way, c' = 6, D = 4)");
+
+    CacheAreaModel area;
+    LineDelayModel delay;
+    delay.c = 7;
+    delay.busWidth = 4;
+
+    CacheConfig geometry;
+    geometry.sizeBytes = 16 * 1024;
+    geometry.assoc = 2;
+
+    const auto table = MissRatioTable::designTarget16K();
+
+    for (double beta : {1.0, 2.0, 4.0}) {
+        delay.beta = beta;
+        bench::section("beta = " + TextTable::num(beta, 0));
+        TextTable out({"line", "mean delay", "total Kbits",
+                       "overhead %", "delay*area (norm)"});
+        const auto points =
+            costEffectivenessSweep(table, delay, area, geometry);
+        double best_product = points.front().delayAreaProduct;
+        for (const auto &p : points)
+            best_product =
+                std::min(best_product, p.delayAreaProduct);
+        for (const auto &p : points) {
+            out.addRow(
+                {std::to_string(p.lineBytes),
+                 TextTable::num(p.meanMemoryDelay, 4),
+                 TextTable::num(
+                     static_cast<double>(p.totalBits) / 1024.0,
+                     1),
+                 TextTable::num(p.overheadFraction * 100, 2),
+                 TextTable::num(
+                     p.delayAreaProduct / best_product, 4)});
+        }
+        bench::emitTable(out);
+        bench::exportCsv("ablation_cost_beta" +
+                             TextTable::num(beta, 0),
+                         out);
+
+        const auto smith = smithOptimalLine(table, delay);
+        const auto cost =
+            costEffectiveLine(table, delay, area, geometry);
+        bench::compareLine(
+            "cost-effective line vs Smith's delay optimum",
+            "never smaller (Alpert & Flynn)",
+            std::to_string(smith) + "B -> " +
+                std::to_string(cost) + "B",
+            cost >= smith);
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation — non-blocking caches with multiple outstanding misses.
+ * Sec. 5.3 notes that without "the mechanism for supporting
+ * multiple load/store miss", subsequent accesses stall anyway;
+ * this experiment quantifies that with the timing engine: NB
+ * execution time and effective phi as a function of MSHR count.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+using namespace uatm;
+
+int
+main()
+{
+    bench::banner("Ablation: MSHRs",
+                  "non-blocking cache with 1..8 outstanding "
+                  "misses (8KB 2-way 32B, D = 4, mu_m = 12)");
+
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 12;
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+
+    for (const char *profile : {"doduc", "hydro2d"}) {
+        bench::section(profile);
+        TextTable table({"mshrs", "cycles", "CPI", "phi",
+                         "serialization stalls"});
+        Cycles at1 = 0, at8 = 0;
+        for (std::uint32_t mshrs : {1u, 2u, 4u, 8u}) {
+            CpuConfig cpu;
+            cpu.feature = StallFeature::NB;
+            cpu.mshrs = mshrs;
+            cpu.suppressFlushTraffic = true;
+            TimingEngine engine(cache, mem,
+                                WriteBufferConfig{16, true}, cpu);
+            auto workload = Spec92Profile::make(profile, 313);
+            const auto stats = engine.run(*workload, 80000);
+            if (mshrs == 1)
+                at1 = stats.cycles;
+            if (mshrs == 8)
+                at8 = stats.cycles;
+            table.addRow(
+                {std::to_string(mshrs),
+                 std::to_string(stats.cycles),
+                 TextTable::num(stats.cpi(), 3),
+                 TextTable::num(stats.phi(mem.cycleTime), 3),
+                 std::to_string(stats.missSerializationStall)});
+        }
+        bench::emitTable(table);
+        bench::exportCsv(std::string("ablation_mshr_") + profile,
+                         table);
+        bench::compareLine(
+            "multiple MSHRs help the NB cache",
+            "cycles shrink with MSHRs (Sec. 5.3 remark)",
+            std::to_string(at1) + " -> " + std::to_string(at8),
+            at8 <= at1);
+    }
+    return 0;
+}

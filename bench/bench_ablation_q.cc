@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation — pipelined-memory issue interval q.  The paper fixes
+ * q = 2 ("the best possible implementation"); this sweep maps how
+ * the pipelined-vs-bus-doubling crossover moves as the pipeline
+ * slows down, including the regime where it disappears.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/tradeoff.hh"
+
+using namespace uatm;
+
+int
+main()
+{
+    bench::banner("Ablation: q",
+                  "pipeline interval sensitivity (L = 32, "
+                  "D = 4, alpha = 0.5)");
+
+    bench::section("crossover mu_m (pipelined overtakes bus "
+                   "doubling)");
+    TextTable table({"q", "crossover mu_m", "r_pipe at mu=8",
+                     "r_pipe at mu=20"});
+    for (double q : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+        TradeoffContext ctx;
+        ctx.machine.busWidth = 4;
+        ctx.machine.lineBytes = 32;
+        ctx.machine.cycleTime = 8;
+        ctx.alpha = 0.5;
+
+        // The model requires q <= mu_m; search from there.
+        const auto crossover = crossoverCycleTime(
+            ctx, TradeFeature::PipelinedMemory,
+            TradeFeature::DoubleBus, q, 1.0, std::max(2.0, q),
+            400.0);
+
+        TradeoffContext at8 = ctx;
+        at8.machine = ctx.machine.withCycleTime(std::max(8.0, q));
+        TradeoffContext at20 = ctx;
+        at20.machine = ctx.machine.withCycleTime(20.0);
+
+        table.addRow(
+            {TextTable::num(q, 0),
+             crossover ? TextTable::num(*crossover, 2)
+                       : std::string("none"),
+             TextTable::num(missFactorPipelined(at8, q), 3),
+             TextTable::num(missFactorPipelined(at20, q), 3)});
+    }
+    bench::emitTable(table);
+    bench::exportCsv("ablation_q", table);
+
+    bench::section("observations");
+    {
+        TradeoffContext ctx;
+        ctx.machine.busWidth = 4;
+        ctx.machine.lineBytes = 32;
+        ctx.machine.cycleTime = 8;
+        ctx.alpha = 0.5;
+        const auto fast = crossoverCycleTime(
+            ctx, TradeFeature::PipelinedMemory,
+            TradeFeature::DoubleBus, 2.0, 1.0, 2.0, 400.0);
+        const auto slow = crossoverCycleTime(
+            ctx, TradeFeature::PipelinedMemory,
+            TradeFeature::DoubleBus, 6.0, 1.0, 6.0, 400.0);
+        bench::compareLine(
+            "slower pipelines push the crossover out",
+            "monotone in q",
+            (fast ? TextTable::num(*fast, 2) : std::string("-")) +
+                " -> " +
+                (slow ? TextTable::num(*slow, 2)
+                      : std::string("none")),
+            fast && (!slow || *slow > *fast));
+    }
+    return 0;
+}

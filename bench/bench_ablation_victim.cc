@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation — victim caches (Jouppi, reference [7] of the paper)
+ * priced in the methodology's currency: the combined hit ratio of
+ * a direct-mapped cache with an N-entry victim buffer, the dHR it
+ * buys, and how that compares with what doubling the bus or adding
+ * write buffers is worth at the same operating point (Eq. 6).
+ */
+
+#include <cstdio>
+
+#include "cache/victim.hh"
+#include "common.hh"
+#include "core/tradeoff.hh"
+#include "trace/generators.hh"
+
+using namespace uatm;
+
+namespace {
+
+double
+combinedHitRatio(const char *profile, std::uint32_t entries)
+{
+    CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.assoc = 1; // direct-mapped: conflict-miss rich
+    config.lineBytes = 32;
+    VictimCachedHierarchy cache(config, VictimConfig{entries});
+    auto workload = Spec92Profile::make(profile, 131);
+    for (int i = 0; i < 80000; ++i)
+        cache.access(*workload->next());
+    return cache.combinedHitRatio();
+}
+
+double
+plainHitRatio(const char *profile, std::uint32_t assoc)
+{
+    CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.assoc = assoc;
+    config.lineBytes = 32;
+    SetAssocCache cache(config);
+    auto workload = Spec92Profile::make(profile, 131);
+    for (int i = 0; i < 80000; ++i)
+        cache.access(*workload->next());
+    return cache.stats().hitRatio();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: victim cache",
+                  "8KB direct-mapped + N-entry victim buffer "
+                  "(Jouppi [7]), priced via Eq. 6");
+
+    TradeoffContext ctx;
+    ctx.machine.busWidth = 4;
+    ctx.machine.lineBytes = 32;
+    ctx.machine.cycleTime = 8;
+    ctx.alpha = 0.5;
+
+    bench::section("combined hit ratio (%) per buffer size");
+    TextTable table({"program", "DM", "+4", "+8", "+16", "2-way",
+                     "dHR(+8) %", "bus worth %"});
+    double recovered_sum = 0.0;
+    int rows = 0;
+    for (const auto &name : Spec92Profile::names()) {
+        const double dm = plainHitRatio(name.c_str(), 1);
+        const double v4 = combinedHitRatio(name.c_str(), 4);
+        const double v8 = combinedHitRatio(name.c_str(), 8);
+        const double v16 = combinedHitRatio(name.c_str(), 16);
+        const double two_way = plainHitRatio(name.c_str(), 2);
+
+        const double delta = (v8 - dm) * 100.0;
+        const double bus_worth =
+            hitRatioTraded(missFactorDoubleBus(ctx), dm) * 100.0;
+        table.addRow({name, TextTable::num(dm * 100, 2),
+                      TextTable::num(v4 * 100, 2),
+                      TextTable::num(v8 * 100, 2),
+                      TextTable::num(v16 * 100, 2),
+                      TextTable::num(two_way * 100, 2),
+                      TextTable::num(delta, 2),
+                      TextTable::num(bus_worth, 2)});
+        if (two_way > dm + 1e-6) {
+            recovered_sum += (v8 - dm) / (two_way - dm);
+            ++rows;
+        }
+    }
+    bench::emitTable(table);
+    bench::exportCsv("ablation_victim", table);
+
+    bench::section("observations");
+    if (rows > 0) {
+        const double recovered = recovered_sum / rows;
+        bench::compareLine(
+            "victim buffer recovers the DM vs 2-way gap",
+            "a large fraction (Jouppi)",
+            TextTable::num(recovered * 100, 1) + " % avg",
+            recovered > 0.3);
+    }
+    std::printf(
+        "Reading the last two columns: when dHR(+8) exceeds the "
+        "'bus worth' column, a handful of victim entries buys "
+        "more performance than 32 extra pins — the unified "
+        "currency at work.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation — write-buffer depth (Sec. 4.3).  The paper's analysis
+ * uses the best case (flushes fully hidden); this experiment maps
+ * how many entries the buffer actually needs per workload, and how
+ * close a finite buffer gets to the best case.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+using namespace uatm;
+
+int
+main()
+{
+    bench::banner("Ablation: write-buffer depth",
+                  "cycles vs buffer entries (8KB 2-way 32B, "
+                  "D = 4, mu_m = 8, FS)");
+
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+
+    for (const char *profile : {"ear", "swm256", "hydro2d"}) {
+        bench::section(profile);
+        TextTable table({"depth", "cycles", "buffer-full stalls",
+                         "flush hidden %"});
+        Cycles best = 0, sync = 0;
+        // First the two anchors: no buffer, and the analytic best
+        // case (flush traffic suppressed entirely).
+        {
+            CpuConfig cpu;
+            cpu.feature = StallFeature::FS;
+            TimingEngine engine(cache, mem,
+                                WriteBufferConfig{0, true}, cpu);
+            auto workload = Spec92Profile::make(profile, 11);
+            sync = engine.run(*workload, 80000).cycles;
+
+            CpuConfig ideal = cpu;
+            ideal.suppressFlushTraffic = true;
+            TimingEngine ideal_engine(
+                cache, mem, WriteBufferConfig{0, true}, ideal);
+            auto workload2 = Spec92Profile::make(profile, 11);
+            best = ideal_engine.run(*workload2, 80000).cycles;
+        }
+        table.addRow({"0 (sync)", std::to_string(sync), "-",
+                      "0.0"});
+        for (std::uint32_t depth : {1u, 2u, 4u, 8u, 16u, 64u}) {
+            CpuConfig cpu;
+            cpu.feature = StallFeature::FS;
+            TimingEngine engine(
+                cache, mem, WriteBufferConfig{depth, true}, cpu);
+            auto workload = Spec92Profile::make(profile, 11);
+            const auto stats = engine.run(*workload, 80000);
+            const double hidden =
+                100.0 *
+                static_cast<double>(sync - stats.cycles) /
+                static_cast<double>(sync - best);
+            table.addRow({std::to_string(depth),
+                          std::to_string(stats.cycles),
+                          std::to_string(stats.bufferFullStall),
+                          TextTable::num(hidden, 1)});
+        }
+        table.addRow({"ideal", std::to_string(best), "-",
+                      "100.0"});
+        bench::emitTable(table);
+        bench::exportCsv(std::string("ablation_wbuf_") + profile,
+                         table);
+    }
+
+    bench::section("read-bypassing vs plain FIFO (depth 8)");
+    {
+        TextTable table({"program", "sync", "FIFO buffer",
+                         "read-bypassing", "bypass gain %"});
+        for (const char *profile : {"ear", "swm256", "hydro2d"}) {
+            auto run = [&](std::uint32_t depth, bool bypass) {
+                CpuConfig cpu;
+                cpu.feature = StallFeature::FS;
+                TimingEngine engine(
+                    cache, mem, WriteBufferConfig{depth, bypass},
+                    cpu);
+                auto workload = Spec92Profile::make(profile, 11);
+                return engine.run(*workload, 80000).cycles;
+            };
+            const Cycles sync = run(0, true);
+            const Cycles fifo = run(8, false);
+            const Cycles bypass = run(8, true);
+            table.addRow(
+                {profile, std::to_string(sync),
+                 std::to_string(fifo), std::to_string(bypass),
+                 TextTable::num(
+                     100.0 *
+                         (static_cast<double>(fifo) -
+                          static_cast<double>(bypass)) /
+                         static_cast<double>(fifo),
+                     2)});
+        }
+        bench::emitTable(table);
+        bench::exportCsv("ablation_wbuf_bypass", table);
+    }
+
+    bench::section("observation");
+    std::printf("A handful of entries recovers most of the "
+                "best-case benefit on locality-rich codes; "
+                "bandwidth-saturated phases (hydro2d) cap the "
+                "hidden fraction regardless of depth — the gap "
+                "between the paper's best-case curve and a real "
+                "implementation.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 2 — effect of memory latency on the hit ratio traded by
+ * doubling the data bus (D = 4 -> 8 bytes), full-stalling cache,
+ * alpha = alpha' = 0.5, base hit ratios 98 % (upper panel) and
+ * 90 % (lower panel), line sizes 8/16/32 bytes.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/tradeoff.hh"
+
+using namespace uatm;
+
+namespace {
+
+void
+panel(double base_hr)
+{
+    bench::section("base hit ratio " +
+                   TextTable::num(base_hr * 100.0, 0) + " %");
+
+    const std::vector<double> lines = {32.0, 16.0, 8.0};
+    const std::vector<double> mus = {2, 4, 6, 8, 10, 12,
+                                     14, 16, 18, 20};
+
+    TextTable table({"mu_m", "L=32 dHR %", "L=16 dHR %",
+                     "L=8 dHR %"});
+    AsciiChart chart(64, 16);
+    chart.setTitle("Figure 2 @ base HR " +
+                   TextTable::num(base_hr * 100, 0) +
+                   "%: traded hit ratio vs mu_m");
+    chart.setXLabel("memory cycle time per 4 bytes");
+    chart.setYLabel("hit ratio traded (%)");
+    const char glyphs[3] = {'-', '.', ':'};
+
+    std::vector<ChartSeries> series;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        series.push_back(ChartSeries{
+            "L=" + TextTable::num(lines[i], 0), glyphs[i], {},
+            {}});
+    }
+
+    for (double mu : mus) {
+        std::vector<std::string> row = {TextTable::num(mu, 0)};
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            TradeoffContext ctx;
+            ctx.machine.busWidth = 4;
+            ctx.machine.lineBytes = lines[i];
+            ctx.machine.cycleTime = mu;
+            ctx.alpha = 0.5;
+            const double traded =
+                hitRatioTraded(missFactorDoubleBus(ctx), base_hr) *
+                100.0;
+            row.push_back(TextTable::num(traded, 3));
+            series[i].x.push_back(mu);
+            series[i].y.push_back(traded);
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(table);
+    bench::exportCsv("fig2_baseHR" +
+                         TextTable::num(base_hr * 100, 0),
+                     table);
+    for (auto &s : series)
+        chart.addSeries(std::move(s));
+    bench::emitChart(chart);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 2",
+                  "hit ratio traded by doubling the bus vs "
+                  "memory cycle time (FS, alpha = 0.5, D = 4)");
+
+    panel(0.98);
+    panel(0.90);
+
+    bench::section("paper-vs-measured anchors");
+    {
+        TradeoffContext ctx;
+        ctx.machine.busWidth = 4;
+        ctx.machine.lineBytes = 32;
+        ctx.machine.cycleTime = 20;
+        ctx.alpha = 0.5;
+        const double traded32 =
+            hitRatioTraded(missFactorDoubleBus(ctx), 0.98) * 100;
+        bench::compareLine(
+            "L=32, long mu_m, base 98 %: 64-bit HR",
+            "~96 % (trade ~2 %)",
+            TextTable::num(98.0 - traded32, 2) + " %",
+            traded32 > 1.9 && traded32 < 2.2);
+
+        ctx.machine.lineBytes = 8;
+        ctx.machine.cycleTime = 2;
+        const double traded8 =
+            hitRatioTraded(missFactorDoubleBus(ctx), 0.98) * 100;
+        bench::compareLine("L=8, mu_m=2, base 98 %: trade",
+                           "3 % (95 vs 98)",
+                           TextTable::num(traded8, 2) + " %",
+                           std::abs(traded8 - 3.0) < 1e-6);
+    }
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 3 — architectural tradeoff for L = 8 bytes: 50 % flushes,
+ * D = 4, q = 2, base HR = 95 %, BNL1 stalling measured from the
+ * SPEC92-like simulations.
+ */
+
+#include "unified_figure.hh"
+
+int
+main()
+{
+    uatm::bench::UnifiedFigureSpec spec;
+    spec.figureId = "Figure 3";
+    spec.lineBytes = 8;
+    spec.bnlFeature = uatm::StallFeature::BNL1;
+    uatm::bench::runUnifiedFigure(spec);
+    return 0;
+}

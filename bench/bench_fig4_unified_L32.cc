@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 4 — architectural tradeoff for L = 32 bytes: the pipelined
+ * memory system's advantage materialises (crossover near 5-6
+ * cycles); same parameters as Figure 3 otherwise.
+ */
+
+#include "unified_figure.hh"
+
+int
+main()
+{
+    uatm::bench::UnifiedFigureSpec spec;
+    spec.figureId = "Figure 4";
+    spec.lineBytes = 32;
+    spec.bnlFeature = uatm::StallFeature::BNL1;
+    uatm::bench::runUnifiedFigure(spec);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figure 5 — architectural tradeoff for BNL3 (stall only until the
+ * requested datum arrives), L = 32 bytes: BNL3 shows its higher
+ * improvement at small memory cycle times.
+ */
+
+#include "unified_figure.hh"
+
+int
+main()
+{
+    uatm::bench::UnifiedFigureSpec spec;
+    spec.figureId = "Figure 5";
+    spec.lineBytes = 32;
+    spec.bnlFeature = uatm::StallFeature::BNL3;
+    uatm::bench::runUnifiedFigure(spec);
+    return 0;
+}

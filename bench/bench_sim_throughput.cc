@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation substrate
+ * itself: reference generation, functional cache access, and the
+ * full timing engine, per stalling feature.  These guard the
+ * usability of the harness (Figures 1 and 3-5 re-simulate the six
+ * profiles at many operating points).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+void
+BM_WorkingSetGeneration(benchmark::State &state)
+{
+    WorkingSetGenerator::Config config;
+    WorkingSetGenerator gen(config, Rng(1));
+    for (auto _ : state) {
+        auto ref = gen.next();
+        benchmark::DoNotOptimize(ref);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkingSetGeneration);
+
+void
+BM_Spec92ProfileGeneration(benchmark::State &state)
+{
+    auto gen = Spec92Profile::make("nasa7", 1);
+    for (auto _ : state) {
+        auto ref = gen->next();
+        benchmark::DoNotOptimize(ref);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Spec92ProfileGeneration);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig config;
+    config.sizeBytes = 8 * 1024;
+    config.assoc = static_cast<std::uint32_t>(state.range(0));
+    config.lineBytes = 32;
+    SetAssocCache cache(config);
+    cache.setColdTracking(false);
+    WorkingSetGenerator::Config ws;
+    WorkingSetGenerator gen(ws, Rng(7));
+    for (auto _ : state) {
+        auto outcome = cache.access(*gen.next());
+        benchmark::DoNotOptimize(outcome);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_TimingEngine(benchmark::State &state)
+{
+    const auto feature =
+        static_cast<StallFeature>(state.range(0));
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig cpu;
+    cpu.feature = feature;
+    TimingEngine engine(cache, mem, WriteBufferConfig{8, true},
+                        cpu);
+    auto workload = Spec92Profile::make("doduc", 3);
+
+    const std::uint64_t refs_per_iter = 10000;
+    for (auto _ : state) {
+        auto stats = engine.run(*workload, refs_per_iter);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * refs_per_iter));
+    state.SetLabel(
+        stallFeatureName(feature));
+}
+BENCHMARK(BM_TimingEngine)
+    ->Arg(static_cast<int>(StallFeature::FS))
+    ->Arg(static_cast<int>(StallFeature::BL))
+    ->Arg(static_cast<int>(StallFeature::BNL1))
+    ->Arg(static_cast<int>(StallFeature::BNL3))
+    ->Arg(static_cast<int>(StallFeature::NB));
+
+} // namespace
+} // namespace uatm
+
+BENCHMARK_MAIN();

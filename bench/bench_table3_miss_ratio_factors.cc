@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 3 — the ratio of cache misses r (= Lambda_m'/Lambda_m at
+ * equal performance) for each architectural feature, evaluated
+ * symbolically by the model across memory cycle times, for the
+ * write-allocate base machine used throughout Sec. 5.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/tradeoff.hh"
+
+using namespace uatm;
+
+namespace {
+
+TradeoffContext
+makeContext(double mu_m, double line)
+{
+    TradeoffContext ctx;
+    ctx.machine.busWidth = 4;
+    ctx.machine.lineBytes = line;
+    ctx.machine.cycleTime = mu_m;
+    ctx.alpha = 0.5;
+    return ctx;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3",
+                  "miss-count factor r per feature (write-"
+                  "allocate, alpha = 0.5, D = 4)");
+
+    for (double line : {8.0, 32.0}) {
+        bench::section("L = " + TextTable::num(line, 0) +
+                       " bytes (L/D = " +
+                       TextTable::num(line / 4.0, 0) + ")");
+        TextTable table({"mu_m", "double bus", "write buffers",
+                         "BNL phi=0.8 L/D", "pipelined q=2"});
+        for (double mu : {2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0}) {
+            const TradeoffContext ctx = makeContext(mu, line);
+            table.addRow({
+                TextTable::num(mu, 0),
+                TextTable::num(missFactorDoubleBus(ctx), 3),
+                TextTable::num(missFactorWriteBuffers(ctx), 3),
+                TextTable::num(
+                    missFactorPartialStall(
+                        ctx, 0.8 * ctx.machine.lineOverBus()),
+                    3),
+                TextTable::num(missFactorPipelined(ctx, 2.0), 3),
+            });
+        }
+        bench::emitTable(table);
+        bench::exportCsv("table3_L" + TextTable::num(line, 0),
+                         table);
+    }
+
+    bench::section("closed-form limits (Sec. 4.1)");
+    bench::compareLine(
+        "double bus, L=2D, mu_m=2", "r = 2.5",
+        "r = " + TextTable::num(
+                     missFactorDoubleBus(makeContext(2, 8)), 3),
+        std::abs(missFactorDoubleBus(makeContext(2, 8)) - 2.5) <
+            1e-9);
+    bench::compareLine(
+        "double bus, large mu_m", "r = 2.0",
+        "r = " + TextTable::num(
+                     missFactorDoubleBus(makeContext(1e9, 8)), 3),
+        std::abs(missFactorDoubleBus(makeContext(1e9, 8)) - 2.0) <
+            1e-5);
+    return 0;
+}

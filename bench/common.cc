@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of the shared benchmark scaffolding.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace uatm::bench {
+
+void
+banner(const std::string &experiment_id,
+       const std::string &description)
+{
+    std::printf("\n============================================"
+                "========================\n");
+    std::printf("%s — %s\n", experiment_id.c_str(),
+                description.c_str());
+    std::printf("=============================================="
+                "======================\n");
+}
+
+void
+section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+void
+emitTable(const TextTable &table)
+{
+    std::fputs(table.render().c_str(), stdout);
+}
+
+void
+emitChart(const AsciiChart &chart)
+{
+    std::fputs(chart.render().c_str(), stdout);
+}
+
+void
+exportCsv(const std::string &name, const TextTable &table)
+{
+    const char *env = std::getenv("UATM_BENCH_OUT");
+    const std::filesystem::path dir = env ? env : "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create CSV output directory '", dir.string(),
+             "': ", ec.message());
+        return;
+    }
+    const std::filesystem::path path = dir / (name + ".csv");
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write CSV snapshot '", path.string(), "'");
+        return;
+    }
+    out << table.renderCsv();
+    std::printf("[csv] wrote %s\n", path.string().c_str());
+}
+
+void
+compareLine(const std::string &what, const std::string &paper,
+            const std::string &measured, bool matches)
+{
+    std::printf("%-52s paper: %-18s ours: %-18s [%s]\n",
+                what.c_str(), paper.c_str(), measured.c_str(),
+                matches ? "ok" : "DIFFERS");
+}
+
+} // namespace uatm::bench

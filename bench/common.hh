@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table regeneration binaries:
+ * section banners, CSV export next to the binary output, and the
+ * paper-vs-measured row helper used by EXPERIMENTS.md.
+ */
+
+#ifndef UATM_BENCH_COMMON_HH
+#define UATM_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "util/ascii_chart.hh"
+#include "util/table.hh"
+
+namespace uatm::bench {
+
+/** Print a banner naming the experiment and the paper artefact. */
+void banner(const std::string &experiment_id,
+            const std::string &description);
+
+/** Print a sub-section heading. */
+void section(const std::string &title);
+
+/** Print a table to stdout. */
+void emitTable(const TextTable &table);
+
+/** Print a chart to stdout. */
+void emitChart(const AsciiChart &chart);
+
+/**
+ * Write a CSV snapshot under $UATM_BENCH_OUT (default
+ * "bench_out/") so figures can be re-plotted externally; prints
+ * the path written.
+ */
+void exportCsv(const std::string &name, const TextTable &table);
+
+/** One paper-vs-measured comparison line. */
+void compareLine(const std::string &what, const std::string &paper,
+                 const std::string &measured, bool matches);
+
+} // namespace uatm::bench
+
+#endif // UATM_BENCH_COMMON_HH

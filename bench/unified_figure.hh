@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared driver for Figures 3-5: the unified comparison of
+ * pipelined memory, bus doubling, read-bypassing write buffers and
+ * a bus-not-locked feature, all expressed as hit ratio traded at a
+ * 95 % base against a full-blocking, non-pipelined system
+ * (alpha = 0.5, D = 4, q = 2).
+ */
+
+#ifndef UATM_BENCH_UNIFIED_FIGURE_HH
+#define UATM_BENCH_UNIFIED_FIGURE_HH
+
+#include <string>
+
+#include "cpu/stall_feature.hh"
+
+namespace uatm::bench {
+
+/** Parameters of one unified-comparison figure. */
+struct UnifiedFigureSpec
+{
+    std::string figureId;     ///< e.g. "Figure 3"
+    double lineBytes = 8;     ///< 8 for Fig. 3, 32 for Figs. 4/5
+    StallFeature bnlFeature = StallFeature::BNL1;
+    double baseHitRatio = 0.95;
+    double alpha = 0.5;
+    double q = 2.0;
+    double busWidth = 4.0;
+};
+
+/**
+ * Regenerate the figure: per mu_m, the traded hit ratio of each
+ * feature (the BNL curve uses the engine-measured phi at that
+ * mu_m), printed as a table and chart, with the paper's crossover
+ * observations checked.
+ */
+void runUnifiedFigure(const UnifiedFigureSpec &spec);
+
+} // namespace uatm::bench
+
+#endif // UATM_BENCH_UNIFIED_FIGURE_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Memory-system planner (Secs. 4.4 and 5.3): given a memory part
+ * with cycle time mu_m, decide between pipelining the memory,
+ * doubling the bus, and adding read-bypassing write buffers —
+ * using both the analytic crossover machinery and end-to-end
+ * timing simulation of the candidate systems.
+ *
+ * Example:
+ *   ./build/examples/memory_system_planner --mu 12 --line 32
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/tradeoff.hh"
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+using namespace uatm;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options(
+        "memory_system_planner",
+        "Rank pipelined memory, bus doubling and write buffers "
+        "for a given memory cycle time.");
+    options.addString("workload", "nasa7", "SPEC92-like profile");
+    options.addInt("mu", 12, "memory cycle time per bus transfer");
+    options.addInt("line", 32, "cache line size in bytes");
+    options.addInt("q", 2, "pipelined issue interval");
+    options.addInt("refs", 120000, "references to simulate");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    const double mu = static_cast<double>(options.getInt("mu"));
+    const double line =
+        static_cast<double>(options.getInt("line"));
+    const double q = static_cast<double>(options.getInt("q"));
+
+    TradeoffContext ctx;
+    ctx.machine.busWidth = 4;
+    ctx.machine.lineBytes = line;
+    ctx.machine.cycleTime = mu;
+    ctx.alpha = 0.5;
+
+    // 1. Analytic ranking at this operating point.
+    std::printf("analytic ranking at %s (base HR 95 %%):\n",
+                ctx.machine.describe().c_str());
+    const auto scores = rankFeatures(ctx, 0.95, 6.5, q);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        std::printf("  %zu. %-15s r = %.3f  (worth %.2f %% hit "
+                    "ratio)\n",
+                    i + 1, scores[i].name.c_str(),
+                    scores[i].missFactor,
+                    scores[i].hitRatioTraded * 100);
+    }
+
+    // 2. Where does the pipelined system take over from the bus?
+    if (const auto crossover = crossoverCycleTime(
+            ctx, TradeFeature::PipelinedMemory,
+            TradeFeature::DoubleBus, q, 1.0, std::max(2.0, q),
+            400.0)) {
+        std::printf("\npipelined memory overtakes bus doubling at "
+                    "mu_m = %.2f cycles — your part is %s that "
+                    "point\n",
+                    *crossover, mu > *crossover ? "past" : "below");
+    } else {
+        std::printf("\npipelined memory never overtakes bus "
+                    "doubling at this L/D (cf. Fig. 3)\n");
+    }
+
+    // 3. End-to-end confirmation with the timing engine.
+    std::printf("\nend-to-end simulation (%s):\n",
+                options.getString("workload").c_str());
+    TextTable table({"system", "cycles", "CPI", "mem delay"});
+    const auto refs =
+        static_cast<std::uint64_t>(options.getInt("refs"));
+
+    struct Candidate
+    {
+        const char *name;
+        std::uint32_t bus;
+        bool pipelined;
+        std::uint32_t wbuf;
+    };
+    const Candidate candidates[] = {
+        {"baseline (FS, 32-bit)", 4, false, 0},
+        {"+ write buffers", 4, false, 8},
+        {"+ 64-bit bus", 8, false, 0},
+        {"+ pipelined memory", 4, true, 0},
+    };
+    for (const auto &candidate : candidates) {
+        CacheConfig cache;
+        cache.sizeBytes = 8 * 1024;
+        cache.assoc = 2;
+        cache.lineBytes = static_cast<std::uint32_t>(line);
+
+        MemoryConfig mem;
+        mem.busWidthBytes = candidate.bus;
+        mem.cycleTime = static_cast<Cycles>(mu);
+        mem.pipelined = candidate.pipelined;
+        mem.pipelineInterval = static_cast<Cycles>(q);
+
+        CpuConfig cpu;
+        cpu.feature = StallFeature::FS;
+
+        TimingEngine engine(
+            cache, mem, WriteBufferConfig{candidate.wbuf, true},
+            cpu);
+        auto workload = Spec92Profile::make(
+            options.getString("workload"), 21);
+        const auto stats = engine.run(*workload, refs);
+        table.addRow({candidate.name,
+                      std::to_string(stats.cycles),
+                      TextTable::num(stats.cpi(), 3),
+                      TextTable::num(stats.meanMemoryDelay(), 3)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

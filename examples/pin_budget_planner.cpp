@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Pin-budget planner (Sec. 5.2's pin-count / chip-area argument):
+ * a 64-bit external bus costs ~32 extra signal pins; an on-chip
+ * cache costs area.  Given a hit-ratio-vs-size curve (measured
+ * from a workload), this tool answers: at each cache size, is the
+ * next performance increment cheaper in pins (wider bus) or in
+ * area (bigger cache)?
+ *
+ * Reproduces the paper's observation that doubling a *small*
+ * cache beats widening the bus, while for a *large* cache the
+ * wider bus trades for a lot of area.
+ *
+ * Example:
+ *   ./build/examples/pin_budget_planner --workload ear --mu 12
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cache/sweep.hh"
+#include "core/equivalence.hh"
+#include "trace/generators.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+using namespace uatm;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options(
+        "pin_budget_planner",
+        "Compare spending pins (bus width) vs chip area (cache "
+        "size) at each design point.");
+    options.addString("workload", "ear", "SPEC92-like profile");
+    options.addInt("mu", 12, "memory cycle time per bus transfer");
+    options.addInt("refs", 150000, "references to simulate");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    // 1. Measure the size -> hit-ratio curve for this workload.
+    CacheConfig base;
+    base.assoc = 2;
+    base.lineBytes = 32;
+    auto workload =
+        Spec92Profile::make(options.getString("workload"), 5);
+    const std::vector<std::uint64_t> sizes = {
+        4096, 8192, 16384, 32768, 65536, 131072, 262144};
+    const auto refs =
+        static_cast<std::uint64_t>(options.getInt("refs"));
+    const auto sweep =
+        sweepCacheSize(base, *workload, sizes, refs, refs / 10);
+
+    std::vector<SizePoint> anchors;
+    for (const auto &point : sweep) {
+        const double hr =
+            anchors.empty()
+                ? point.hitRatio
+                : std::max(point.hitRatio,
+                           anchors.back().hitRatio);
+        anchors.push_back(SizePoint{point.value, hr});
+    }
+    const CacheSizeModel curve(anchors);
+
+    // 2. At each size: the cache size whose hit ratio equals the
+    //    performance of doubling the bus instead (Eq. 7).
+    const double mu = static_cast<double>(options.getInt("mu"));
+    TextTable table({"cache", "HR %", "bus-equivalent cache",
+                     "area factor", "verdict (vs ~32 pins)"});
+    for (const auto &anchor : anchors) {
+        if (anchor.sizeBytes == anchors.back().sizeBytes)
+            break;
+        DesignPoint wide;
+        wide.machine.busWidth = 8;
+        wide.machine.lineBytes = 32;
+        wide.machine.cycleTime = mu;
+        wide.hitRatio = anchor.hitRatio;
+        const DesignPoint narrow =
+            equivalentNarrowBusDesign(wide, 0.5);
+        // The curve may saturate before reaching the required hit
+        // ratio: then no buildable cache matches the wider bus.
+        const bool saturated =
+            narrow.hitRatio > anchors.back().hitRatio;
+        const double equal_size =
+            curve.sizeForHitRatio(narrow.hitRatio);
+        const double factor =
+            equal_size / static_cast<double>(anchor.sizeBytes);
+        const bool area_cheap = !saturated && factor <= 4.0;
+        table.addRow(
+            {std::to_string(anchor.sizeBytes / 1024) + "K",
+             TextTable::num(anchor.hitRatio * 100, 2),
+             saturated ? "none (curve saturated)"
+                       : TextTable::num(equal_size / 1024.0, 1) +
+                             "K",
+             saturated ? "-" : TextTable::num(factor, 2) + "x",
+             area_cheap ? "grow the cache, save the pins"
+                        : "widen the bus, save the area"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf(
+        "\nInterpretation (Sec. 5.2): the \"bus-equivalent "
+        "cache\" is the capacity a 32-bit design needs to match "
+        "a 64-bit design at the row's size.  Small caches trade "
+        "up cheaply (2-4x area beats 32 pins); once the curve "
+        "flattens, the same pins buy more than any affordable "
+        "area.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: the unified tradeoff methodology in ~60 lines.
+ *
+ * Question: my processor has a 32-bit external bus, 32-byte cache
+ * lines, an 8-cycle memory, and a 95 %-hit full-blocking cache.
+ * What is each architectural feature worth, measured in cache hit
+ * ratio — the paper's common currency?
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/equivalence.hh"
+#include "core/tradeoff.hh"
+
+int
+main()
+{
+    using namespace uatm;
+
+    // 1. Describe the base machine (Sec. 3 vocabulary).
+    TradeoffContext ctx;
+    ctx.machine.busWidth = 4;    // D: 32-bit external data bus
+    ctx.machine.lineBytes = 32;  // L
+    ctx.machine.cycleTime = 8;   // mu_m, CPU cycles per D bytes
+    ctx.alpha = 0.5;             // flush ratio (paper's default)
+
+    const double base_hr = 0.95;
+
+    // 2. Ask what each feature trades (Eqs. 3 and 6 / Table 3).
+    std::printf("base machine: %s @ HR = %.0f %%\n\n",
+                ctx.machine.describe().c_str(), base_hr * 100);
+    std::printf("%-22s %8s %14s %18s\n", "feature", "r",
+                "dHR traded", "equivalent HR");
+
+    const auto report = [&](const char *name, double r) {
+        std::printf("%-22s %8.3f %12.2f %% %16.2f %%\n", name, r,
+                    hitRatioTraded(r, base_hr) * 100,
+                    equivalentHitRatio(r, base_hr) * 100);
+    };
+    report("double the bus", missFactorDoubleBus(ctx));
+    report("write buffers", missFactorWriteBuffers(ctx));
+    report("BNL cache (phi=6.5)", missFactorPartialStall(ctx, 6.5));
+    report("pipelined mem (q=2)", missFactorPipelined(ctx, 2.0));
+
+    // 3. Equal-performance designs (Sec. 5.2): what cache does a
+    //    64-bit version of this machine need?
+    DesignPoint narrow{ctx.machine, base_hr};
+    const DesignPoint wide =
+        equivalentDoubleBusDesign(narrow, ctx.alpha);
+    std::printf("\n%s  ==  %s\n", narrow.describe().c_str(),
+                wide.describe().c_str());
+
+    // 4. Check the equivalence end to end through Eq. 2.
+    ApplicationShape app; // 1M instructions, 300k data refs
+    std::printf("execution time: %.0f vs %.0f cycles\n",
+                designExecutionTime(narrow, app),
+                designExecutionTime(wide, app));
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Trace utility: generate a synthetic workload (any of the six
+ * SPEC92-like profiles, the Short&Levy mix, or a combined
+ * IFetch+data stream), save it in the text or binary format,
+ * inspect a saved trace, or replay one through a cache and report
+ * the paper's workload parameters {E, R, W, alpha}.
+ *
+ * Examples:
+ *   trace_tool --mode generate --workload nasa7 --refs 50000 \
+ *              --out nasa7.trc --format binary
+ *   trace_tool --mode inspect --in nasa7.trc --format binary
+ *   trace_tool --mode replay --in nasa7.trc --format binary \
+ *              --cache-kb 8 --line 32
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/workload.hh"
+#include "trace/generators.hh"
+#include "trace/ifetch.hh"
+#include "trace/io.hh"
+#include "trace/trace_stats.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+using namespace uatm;
+
+namespace {
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &name, std::uint64_t seed,
+             bool with_ifetch)
+{
+    std::unique_ptr<TraceSource> data;
+    if (name == "shortlevy")
+        data = ShortLevyWorkload::make(seed);
+    else
+        data = Spec92Profile::make(name, seed);
+    if (!with_ifetch)
+        return data;
+    return std::make_unique<IFetchInterleaver>(
+        std::move(data), IFetchConfig{}, Rng(seed ^ 0xf00d));
+}
+
+Trace
+loadTrace(const std::string &path, const std::string &format)
+{
+    if (format == "binary")
+        return BinaryTraceFormat::readFile(path);
+    if (format == "text")
+        return TextTraceFormat::readFile(path);
+    fatal("unknown trace format '", format,
+          "' (expected text or binary)");
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path,
+          const std::string &format)
+{
+    if (format == "binary")
+        BinaryTraceFormat::writeFile(trace, path);
+    else if (format == "text")
+        TextTraceFormat::writeFile(trace, path);
+    else
+        fatal("unknown trace format '", format, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options(
+        "trace_tool",
+        "Generate, inspect and replay uatm memory traces.");
+    options.addString("mode", "generate",
+                      "generate | inspect | replay");
+    options.addString("workload", "nasa7",
+                      "profile name or 'shortlevy' (generate)");
+    options.addInt("refs", 50000, "references to generate");
+    options.addInt("seed", 1, "generator seed");
+    options.addFlag("ifetch",
+                    "interleave instruction fetches (generate)");
+    options.addString("out", "trace.trc", "output path (generate)");
+    options.addString("in", "trace.trc",
+                      "input path (inspect/replay)");
+    options.addString("format", "binary", "text | binary");
+    options.addInt("cache-kb", 8, "cache capacity (replay)");
+    options.addInt("assoc", 2, "associativity (replay)");
+    options.addInt("line", 32, "line size (replay)");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    const std::string mode = options.getString("mode");
+    const std::string format = options.getString("format");
+
+    if (mode == "generate") {
+        auto source = makeWorkload(
+            options.getString("workload"),
+            static_cast<std::uint64_t>(options.getInt("seed")),
+            options.getFlag("ifetch"));
+        Trace trace;
+        const auto refs =
+            static_cast<std::uint64_t>(options.getInt("refs"));
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            auto ref = source->next();
+            if (!ref)
+                break;
+            trace.append(*ref);
+        }
+        saveTrace(trace, options.getString("out"), format);
+        std::printf("wrote %zu references (%llu instructions) to "
+                    "%s\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(
+                        trace.instructionCount()),
+                    options.getString("out").c_str());
+        return 0;
+    }
+
+    if (mode == "inspect") {
+        Trace trace = loadTrace(options.getString("in"), format);
+        WorkloadProfile profile(32);
+        trace.reset();
+        while (auto ref = trace.next())
+            profile.add(*ref);
+        std::fputs(
+            profile.format(options.getString("in")).c_str(),
+            stdout);
+        std::printf("  ifetch refs      = %llu\n",
+                    static_cast<unsigned long long>(
+                        trace.countKind(RefKind::IFetch)));
+        return 0;
+    }
+
+    if (mode == "replay") {
+        Trace trace = loadTrace(options.getString("in"), format);
+        CacheConfig config;
+        config.sizeBytes =
+            static_cast<std::uint64_t>(options.getInt("cache-kb")) *
+            1024;
+        config.assoc =
+            static_cast<std::uint32_t>(options.getInt("assoc"));
+        config.lineBytes =
+            static_cast<std::uint32_t>(options.getInt("line"));
+        SetAssocCache cache(config);
+        trace.reset();
+        while (auto ref = trace.next())
+            cache.access(*ref);
+
+        std::printf("cache: %s\n%s",
+                    config.describe().c_str(),
+                    cache.stats().format(config.lineBytes).c_str());
+        const Workload w = Workload::fromCacheRun(
+            cache.stats(), config.lineBytes);
+        std::printf("paper parameters: %s\n",
+                    w.describe(config.lineBytes).c_str());
+        return 0;
+    }
+
+    fatal("unknown mode '", mode,
+          "' (expected generate, inspect or replay)");
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The flagship example: a one-page design report for a machine you
+ * describe on the command line, produced with every arm of the
+ * methodology —
+ *
+ *   1. what each architectural feature is worth in hit ratio
+ *      (Eqs. 3/6, Table 3), including victim-cache pricing;
+ *   2. where the pipelined-memory crossover falls (Sec. 5.3);
+ *   3. the recommended line size for a measured workload and the
+ *      bus speeds it remains optimal for (Sec. 5.4);
+ *   4. the cost-effectiveness view (Alpert & Flynn) and the bus
+ *      traffic (Goodman) of that choice;
+ *   5. an end-to-end simulation of the suggested configuration
+ *      against the baseline.
+ *
+ * Example:
+ *   ./build/examples/unified_report --mu 10 --line 32 \
+ *       --workload hydro2d --hit-ratio 0.95
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "uatm.hh"
+
+using namespace uatm;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser options("unified_report",
+                         "One-page architectural tradeoff report "
+                         "for a described machine.");
+    options.addInt("mu", 10, "memory cycle time per bus transfer");
+    options.addInt("line", 32, "cache line size in bytes");
+    options.addInt("bus", 4, "bus width in bytes");
+    options.addDouble("hit-ratio", 0.95, "base data-cache hit "
+                      "ratio");
+    options.addDouble("alpha", 0.5, "flush ratio");
+    options.addInt("q", 2, "pipelined issue interval");
+    options.addString("workload", "hydro2d",
+                      "SPEC92-like profile for the measured parts");
+    options.addInt("refs", 80000, "references to simulate");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    TradeoffContext ctx;
+    ctx.machine.busWidth =
+        static_cast<double>(options.getInt("bus"));
+    ctx.machine.lineBytes =
+        static_cast<double>(options.getInt("line"));
+    ctx.machine.cycleTime =
+        static_cast<double>(options.getInt("mu"));
+    ctx.alpha = options.getDouble("alpha");
+    const double hr = options.getDouble("hit-ratio");
+    const double q = static_cast<double>(options.getInt("q"));
+    const auto refs =
+        static_cast<std::uint64_t>(options.getInt("refs"));
+    const std::string workload_name =
+        options.getString("workload");
+
+    std::printf("==============================================\n"
+                "uatm design report — %s @ HR %.1f %%\n"
+                "==============================================\n\n",
+                ctx.machine.describe().c_str(), hr * 100);
+
+    // ---- 1. feature pricing --------------------------------------
+    std::printf("[1] what each feature is worth (Eq. 6)\n");
+    {
+        // Measure the BNL3 stalling factor for this machine.
+        PhiExperiment exp;
+        exp.feature = StallFeature::BNL3;
+        exp.cycleTime =
+            static_cast<Cycles>(ctx.machine.cycleTime);
+        exp.cache.lineBytes =
+            static_cast<std::uint32_t>(ctx.machine.lineBytes);
+        exp.refs = refs / 2;
+        const double phi =
+            std::min(measurePhiAllProfiles(exp).back().phi,
+                     ctx.machine.lineOverBus());
+
+        TextTable table({"feature", "r", "dHR %",
+                         "equivalent HR %"});
+        auto row = [&](const char *name, double r) {
+            table.addRow(
+                {name, TextTable::num(r, 3),
+                 TextTable::num(hitRatioTraded(r, hr) * 100, 2),
+                 TextTable::num(equivalentHitRatio(r, hr) * 100,
+                                2)});
+        };
+        row("double the bus", missFactorDoubleBus(ctx));
+        row("write buffers", missFactorWriteBuffers(ctx));
+        row("BNL3 cache (measured phi)",
+            missFactorPartialStall(ctx, phi));
+        row("pipelined memory", missFactorPipelined(ctx, q));
+        row("victim cache (f=0.5, 2cy)",
+            missFactorVictim(ctx, 0.5, 2.0));
+        std::fputs(table.render().c_str(), stdout);
+    }
+
+    // ---- 2. crossover --------------------------------------------
+    std::printf("\n[2] pipelined-memory crossover (Sec. 5.3)\n");
+    if (ctx.machine.lineOverBus() > 2.0) {
+        const auto crossover = crossoverCycleTime(
+            ctx, TradeFeature::PipelinedMemory,
+            TradeFeature::DoubleBus, q, 1.0, std::max(2.0, q),
+            400.0);
+        if (crossover) {
+            std::printf("    pipelining beats a wider bus from "
+                        "mu_m = %.2f; your mu_m = %.0f is %s it\n",
+                        *crossover, ctx.machine.cycleTime,
+                        ctx.machine.cycleTime > *crossover
+                            ? "past"
+                            : "below");
+        }
+    } else {
+        std::printf("    L/D = 2: pipelining never beats "
+                    "doubling the bus (Fig. 3)\n");
+    }
+
+    // ---- 3. line size ---------------------------------------------
+    std::printf("\n[3] line size for '%s' (Sec. 5.4)\n",
+                workload_name.c_str());
+    LineDelayModel delay;
+    delay.c = ctx.machine.cycleTime + 1.0;
+    delay.beta = ctx.machine.cycleTime;
+    delay.busWidth = ctx.machine.busWidth;
+    std::uint32_t best_line = 0;
+    {
+        CacheConfig cache;
+        cache.sizeBytes = 8 * 1024;
+        cache.assoc = 2;
+        auto workload = Spec92Profile::make(workload_name, 1);
+        const auto sweep = sweepLineSize(
+            cache, *workload, {8, 16, 32, 64, 128}, refs,
+            refs / 10);
+        const auto table =
+            MissRatioTable::fromSweep("measured", sweep);
+        best_line = tradeoffOptimalLine(table, delay, 8);
+        std::printf("    measured MR(L) recommends %u-byte "
+                    "lines (Smith agrees: %u)\n",
+                    best_line, smithOptimalLine(table, delay));
+
+        // 4. cost + traffic view for the same table.
+        CacheAreaModel area;
+        CacheConfig geometry;
+        geometry.sizeBytes = 8 * 1024;
+        geometry.assoc = 2;
+        const auto cost =
+            costEffectiveLine(table, delay, area, geometry);
+        std::printf("\n[4] cost view: delay-area optimum is %u "
+                    "bytes (Alpert & Flynn); traffic rises with "
+                    "line size (Goodman) — see "
+                    "bench_ablation_traffic\n",
+                    cost);
+    }
+
+    // ---- 5. end-to-end --------------------------------------------
+    std::printf("\n[5] end-to-end check (%llu refs)\n",
+                static_cast<unsigned long long>(refs));
+    {
+        auto run = [&](std::uint32_t bus, bool pipelined,
+                       std::uint32_t wbuf) {
+            CacheConfig cache;
+            cache.sizeBytes = 8 * 1024;
+            cache.assoc = 2;
+            cache.lineBytes = static_cast<std::uint32_t>(
+                ctx.machine.lineBytes);
+            MemoryConfig mem;
+            mem.busWidthBytes = bus;
+            mem.cycleTime =
+                static_cast<Cycles>(ctx.machine.cycleTime);
+            mem.pipelined = pipelined;
+            mem.pipelineInterval = static_cast<Cycles>(q);
+            CpuConfig cpu;
+            cpu.feature = StallFeature::FS;
+            TimingEngine engine(cache, mem,
+                                WriteBufferConfig{wbuf, true},
+                                cpu);
+            auto workload =
+                Spec92Profile::make(workload_name, 2);
+            return engine.run(*workload, refs);
+        };
+        const auto base = run(
+            static_cast<std::uint32_t>(ctx.machine.busWidth),
+            false, 0);
+        const auto best =
+            ctx.machine.cycleTime >= 5.0 &&
+                    ctx.machine.lineOverBus() > 2.0
+                ? run(static_cast<std::uint32_t>(
+                          ctx.machine.busWidth),
+                      true, 8)
+                : run(static_cast<std::uint32_t>(
+                          ctx.machine.busWidth * 2),
+                      false, 8);
+        std::printf("    baseline: %llu cycles (CPI %.3f)\n",
+                    static_cast<unsigned long long>(base.cycles),
+                    base.cpi());
+        std::printf("    suggested config: %llu cycles "
+                    "(CPI %.3f, %.1f %% faster)\n",
+                    static_cast<unsigned long long>(best.cycles),
+                    best.cpi(),
+                    100.0 * (1.0 - static_cast<double>(
+                                       best.cycles) /
+                                       static_cast<double>(
+                                           base.cycles)));
+    }
+    return 0;
+}

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Implementation of the set-associative cache model.
+ */
+
+#include "cache/cache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+double
+CacheStats::hitRatio() const
+{
+    return accesses ? static_cast<double>(hits) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+double
+CacheStats::missRatio() const
+{
+    return accesses ? 1.0 - hitRatio() : 0.0;
+}
+
+std::uint64_t
+CacheStats::bytesRead(std::uint32_t line_bytes) const
+{
+    return fills * line_bytes;
+}
+
+std::uint64_t
+CacheStats::bytesFlushed(std::uint32_t line_bytes) const
+{
+    return writebacks * line_bytes;
+}
+
+double
+CacheStats::writeTransfers(std::uint32_t bus_width_bytes) const
+{
+    if (storesToMemory == 0)
+        return 0.0;
+    const double avg_bytes =
+        static_cast<double>(storesToMemoryBytes) /
+        static_cast<double>(storesToMemory);
+    const double transfers_per_store = std::max(
+        1.0, avg_bytes / static_cast<double>(bus_width_bytes));
+    return transfers_per_store *
+           static_cast<double>(storesToMemory);
+}
+
+double
+CacheStats::flushRatio(std::uint32_t line_bytes) const
+{
+    const auto read = bytesRead(line_bytes);
+    if (read == 0)
+        return 0.0;
+    return static_cast<double>(bytesFlushed(line_bytes)) /
+           static_cast<double>(read);
+}
+
+std::string
+CacheStats::format(std::uint32_t line_bytes) const
+{
+    std::ostringstream os;
+    os << "  accesses     = " << accesses << '\n'
+       << "  hits         = " << hits << '\n'
+       << "  misses       = " << misses << " (load " << loadMisses
+       << ", store " << storeMisses << ", cold " << coldMisses
+       << ")\n"
+       << "  hit ratio    = " << hitRatio() << '\n'
+       << "  fills        = " << fills << " (R = "
+       << bytesRead(line_bytes) << " bytes)\n"
+       << "  writebacks   = " << writebacks << " (alpha = "
+       << flushRatio(line_bytes) << ")\n"
+       << "  stores->mem  = " << storesToMemory << '\n'
+       << "  instructions = " << instructions << '\n';
+    return os.str();
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    setMask_ = config_.numSets() - 1;
+    lineShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(
+            config_.lineBytes)));
+    lines_.resize(config_.numLines());
+    replacement_ = ReplacementPolicy::create(config_);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & setMask_;
+}
+
+Addr
+SetAssocCache::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(config_.lineBytes - 1);
+}
+
+SetAssocCache::Line &
+SetAssocCache::line(std::uint64_t set, std::uint32_t way)
+{
+    return lines_[set * config_.assoc + way];
+}
+
+const SetAssocCache::Line &
+SetAssocCache::line(std::uint64_t set, std::uint32_t way) const
+{
+    return lines_[set * config_.assoc + way];
+}
+
+std::optional<std::uint32_t>
+SetAssocCache::findWay(std::uint64_t set, Addr line_addr) const
+{
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == line_addr)
+            return w;
+    }
+    return std::nullopt;
+}
+
+AccessOutcome
+SetAssocCache::access(const MemoryReference &ref)
+{
+    UATM_ASSERT(isValidAccessSize(ref.size),
+                "invalid access size ", int(ref.size));
+    UATM_ASSERT(ref.size <= config_.lineBytes,
+                "access size exceeds the line size");
+
+    AccessOutcome out;
+    const Addr laddr = lineAddr(ref.addr);
+    const std::uint64_t set = setIndex(ref.addr);
+    out.lineAddr = laddr;
+
+    const bool is_store = ref.kind == RefKind::Store;
+    ++stats_.accesses;
+    stats_.instructions += static_cast<std::uint64_t>(ref.gap) + 1;
+    if (is_store)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    if (trackCold_)
+        out.coldMiss = touchedLines_.insert(laddr).second;
+
+    if (auto way = findWay(set, laddr)) {
+        // Hit.
+        out.hit = true;
+        out.coldMiss = false;
+        ++stats_.hits;
+        replacement_->touch(set, *way);
+        if (is_store) {
+            if (config_.write == WritePolicy::WriteBack) {
+                line(set, *way).dirty = true;
+            } else {
+                out.storeToMemory = true;
+                ++stats_.storesToMemory;
+                stats_.storesToMemoryBytes += ref.size;
+            }
+        }
+        return out;
+    }
+
+    // Miss.
+    ++stats_.misses;
+    if (is_store)
+        ++stats_.storeMisses;
+    else
+        ++stats_.loadMisses;
+    if (out.coldMiss)
+        ++stats_.coldMisses;
+
+    const bool allocate =
+        !is_store || config_.writeMiss == WriteMissPolicy::WriteAllocate;
+
+    if (!allocate) {
+        // Write-around store miss: goes straight to memory.
+        out.storeToMemory = true;
+        ++stats_.storesToMemory;
+        stats_.storesToMemoryBytes += ref.size;
+        return out;
+    }
+
+    // Choose a victim and fill.
+    std::vector<bool> valid(config_.assoc);
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        valid[w] = line(set, w).valid;
+    const std::uint32_t victim = replacement_->victim(set, valid);
+    UATM_ASSERT(victim < config_.assoc, "replacement returned way ",
+                victim, " >= assoc ", config_.assoc);
+
+    Line &slot = line(set, victim);
+    if (slot.valid) {
+        out.evictedValid = true;
+        out.evictedLineAddr = slot.tag;
+        out.evictedDirty = slot.dirty;
+        if (slot.dirty) {
+            out.writeback = true;
+            out.victimLineAddr = slot.tag;
+            ++stats_.writebacks;
+        }
+    }
+
+    slot.tag = laddr;
+    slot.valid = true;
+    slot.dirty = false;
+    out.fill = true;
+    ++stats_.fills;
+    replacement_->touch(set, victim);
+
+    if (is_store) {
+        if (config_.write == WritePolicy::WriteBack) {
+            slot.dirty = true;
+        } else {
+            out.storeToMemory = true;
+            ++stats_.storesToMemory;
+            stats_.storesToMemoryBytes += ref.size;
+        }
+    }
+    return out;
+}
+
+PrefetchOutcome
+SetAssocCache::prefetchLine(Addr addr)
+{
+    const InstallOutcome installed = installLine(addr, false);
+    PrefetchOutcome out;
+    out.inserted = installed.inserted;
+    if (installed.evictedValid && installed.evictedDirty) {
+        out.writeback = true;
+        out.victimLineAddr = installed.evictedLineAddr;
+        ++stats_.writebacks;
+    }
+    if (installed.inserted)
+        ++stats_.prefetchInserts;
+    return out;
+}
+
+InstallOutcome
+SetAssocCache::installLine(Addr addr, bool dirty)
+{
+    InstallOutcome out;
+    const Addr laddr = lineAddr(addr);
+    const std::uint64_t set = setIndex(addr);
+    if (findWay(set, laddr))
+        return out; // already resident: nothing to do
+
+    std::vector<bool> valid(config_.assoc);
+    for (std::uint32_t w = 0; w < config_.assoc; ++w)
+        valid[w] = line(set, w).valid;
+    const std::uint32_t victim = replacement_->victim(set, valid);
+    UATM_ASSERT(victim < config_.assoc,
+                "replacement returned way ", victim,
+                " >= assoc ", config_.assoc);
+
+    Line &slot = line(set, victim);
+    if (slot.valid) {
+        out.evictedValid = true;
+        out.evictedLineAddr = slot.tag;
+        out.evictedDirty = slot.dirty;
+    }
+    slot.tag = laddr;
+    slot.valid = true;
+    slot.dirty = dirty;
+    out.inserted = true;
+    replacement_->touch(set, victim);
+    return out;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findWay(setIndex(addr), lineAddr(addr)).has_value();
+}
+
+bool
+SetAssocCache::probeDirty(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr laddr = lineAddr(addr);
+    if (auto way = findWay(set, laddr))
+        return line(set, *way).dirty;
+    return false;
+}
+
+std::uint64_t
+SetAssocCache::invalidateAll()
+{
+    std::uint64_t dirty = 0;
+    for (auto &l : lines_) {
+        if (l.valid && l.dirty)
+            ++dirty;
+        l = Line{};
+    }
+    replacement_->reset();
+    return dirty;
+}
+
+void
+SetAssocCache::reset()
+{
+    invalidateAll();
+    stats_ = CacheStats{};
+    touchedLines_.clear();
+}
+
+void
+SetAssocCache::setColdTracking(bool enabled)
+{
+    trackCold_ = enabled;
+    if (!enabled)
+        touchedLines_.clear();
+}
+
+} // namespace uatm

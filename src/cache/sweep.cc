@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Implementation of the cache sweep drivers.
+ */
+
+#include "cache/sweep.hh"
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+CacheRunResult
+runCacheSim(const CacheConfig &config, TraceSource &source,
+            std::uint64_t refs, std::uint64_t warmup_refs)
+{
+    UATM_ASSERT(warmup_refs <= refs,
+                "warmup longer than the whole run");
+    source.reset();
+    SetAssocCache cache(config);
+    // Long runs don't need the cold-miss hash set.
+    cache.setColdTracking(refs <= (1u << 22));
+
+    for (std::uint64_t i = 0; i < warmup_refs; ++i) {
+        auto ref = source.next();
+        if (!ref)
+            break;
+        cache.access(*ref);
+    }
+    // Measure only the post-warmup window.
+    const CacheStats warm = cache.stats();
+    for (std::uint64_t i = warmup_refs; i < refs; ++i) {
+        auto ref = source.next();
+        if (!ref)
+            break;
+        cache.access(*ref);
+    }
+
+    CacheStats measured = cache.stats();
+    measured.accesses -= warm.accesses;
+    measured.loads -= warm.loads;
+    measured.stores -= warm.stores;
+    measured.hits -= warm.hits;
+    measured.misses -= warm.misses;
+    measured.loadMisses -= warm.loadMisses;
+    measured.storeMisses -= warm.storeMisses;
+    measured.fills -= warm.fills;
+    measured.writebacks -= warm.writebacks;
+    measured.storesToMemory -= warm.storesToMemory;
+    measured.coldMisses -= warm.coldMisses;
+    measured.instructions -= warm.instructions;
+
+    return CacheRunResult{cache.config(), measured};
+}
+
+std::vector<SweepPoint>
+sweepCacheSize(const CacheConfig &base, TraceSource &source,
+               const std::vector<std::uint64_t> &sizes,
+               std::uint64_t refs, std::uint64_t warmup_refs)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        const auto run = runCacheSim(config, source, refs,
+                                     warmup_refs);
+        points.push_back(SweepPoint{size, run.hitRatio(),
+                                    run.missRatio(),
+                                    run.flushRatio()});
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+sweepLineSize(const CacheConfig &base, TraceSource &source,
+              const std::vector<std::uint32_t> &line_sizes,
+              std::uint64_t refs, std::uint64_t warmup_refs)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(line_sizes.size());
+    for (std::uint32_t line : line_sizes) {
+        CacheConfig config = base;
+        config.lineBytes = line;
+        const auto run = runCacheSim(config, source, refs,
+                                     warmup_refs);
+        points.push_back(SweepPoint{line, run.hitRatio(),
+                                    run.missRatio(),
+                                    run.flushRatio()});
+    }
+    return points;
+}
+
+} // namespace uatm

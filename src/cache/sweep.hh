@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Convenience drivers: run a workload through a cache configuration
+ * and sweep geometry parameters.  These produce the measured
+ * hit-ratio curves that stand in for the paper's trace-driven
+ * numbers (Short & Levy sizes in Example 1, Smith MR(L) in Fig. 6).
+ */
+
+#ifndef UATM_CACHE_SWEEP_HH
+#define UATM_CACHE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "trace/source.hh"
+
+namespace uatm {
+
+/** Outcome of one simulation run. */
+struct CacheRunResult
+{
+    CacheConfig config;
+    CacheStats stats;
+
+    double hitRatio() const { return stats.hitRatio(); }
+    double missRatio() const { return stats.missRatio(); }
+    double flushRatio() const
+    {
+        return stats.flushRatio(config.lineBytes);
+    }
+};
+
+/**
+ * Run @p refs references of @p source (reset first) through a fresh
+ * cache of @p config.  Optionally skip a warmup prefix from the
+ * statistics so compulsory-miss transients don't pollute steady-
+ * state hit ratios.
+ */
+CacheRunResult runCacheSim(const CacheConfig &config,
+                           TraceSource &source, std::uint64_t refs,
+                           std::uint64_t warmup_refs = 0);
+
+/** (size or line, hit ratio) sample from a sweep. */
+struct SweepPoint
+{
+    std::uint64_t value;
+    double hitRatio;
+    double missRatio;
+    double flushRatio;
+};
+
+/**
+ * Hit ratio as a function of cache size, geometry otherwise fixed.
+ * The source is reset before each run so every size sees the same
+ * reference stream.
+ */
+std::vector<SweepPoint>
+sweepCacheSize(const CacheConfig &base, TraceSource &source,
+               const std::vector<std::uint64_t> &sizes,
+               std::uint64_t refs, std::uint64_t warmup_refs = 0);
+
+/**
+ * Miss ratio as a function of line size at fixed capacity — the
+ * MR(L) input to the Smith line-size validation.
+ */
+std::vector<SweepPoint>
+sweepLineSize(const CacheConfig &base, TraceSource &source,
+              const std::vector<std::uint32_t> &line_sizes,
+              std::uint64_t refs, std::uint64_t warmup_refs = 0);
+
+} // namespace uatm
+
+#endif // UATM_CACHE_SWEEP_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Implementation of the victim-cache hierarchy.
+ */
+
+#include "cache/victim.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+void
+VictimConfig::validate() const
+{
+    if (entries == 0)
+        fatal("a victim cache needs at least one entry");
+    if (entries > 64)
+        fatal("a victim buffer is a small fully associative "
+              "structure; ", entries, " entries is not realisable");
+}
+
+VictimCachedHierarchy::VictimCachedHierarchy(
+    const CacheConfig &main_config,
+    const VictimConfig &victim_config)
+    : main_(main_config), victimConfig_(victim_config)
+{
+    victimConfig_.validate();
+}
+
+void
+VictimCachedHierarchy::insertVictim(Addr line_addr, bool dirty)
+{
+    buffer_.push_front(VictimLine{line_addr, dirty});
+    ++victimStats_.insertions;
+    if (buffer_.size() > victimConfig_.entries) {
+        if (buffer_.back().dirty)
+            ++victimStats_.writebacks;
+        buffer_.pop_back();
+    }
+}
+
+bool
+VictimCachedHierarchy::takeVictim(Addr line_addr, bool &dirty_out)
+{
+    const auto it = std::find_if(
+        buffer_.begin(), buffer_.end(),
+        [line_addr](const VictimLine &entry) {
+            return entry.lineAddr == line_addr;
+        });
+    if (it == buffer_.end())
+        return false;
+    dirty_out = it->dirty;
+    buffer_.erase(it);
+    return true;
+}
+
+AccessOutcome
+VictimCachedHierarchy::access(const MemoryReference &ref)
+{
+    const Addr laddr =
+        alignDown(ref.addr, main_.config().lineBytes);
+
+    if (main_.probe(laddr)) {
+        // Plain main-cache hit.
+        return main_.access(ref);
+    }
+
+    bool dirty = false;
+    if (takeVictim(laddr, dirty)) {
+        // Victim hit: swap the line back into the main cache; the
+        // displaced line takes its place in the buffer.  No memory
+        // traffic.
+        ++victimStats_.victimHits;
+        const InstallOutcome installed =
+            main_.installLine(laddr, dirty);
+        UATM_ASSERT(installed.inserted,
+                    "line absent from the main cache must install");
+        if (installed.evictedValid) {
+            insertVictim(installed.evictedLineAddr,
+                         installed.evictedDirty);
+        }
+        AccessOutcome out = main_.access(ref);
+        UATM_ASSERT(out.hit, "installed line must hit");
+        // Report as the class comment specifies: not a main hit,
+        // not a memory fill, no flush.
+        out.hit = false;
+        out.fill = false;
+        out.writeback = false;
+        return out;
+    }
+
+    // True miss: fetch from memory; the displaced line is captured
+    // by the buffer instead of being flushed immediately.
+    AccessOutcome out = main_.access(ref);
+    if (out.evictedValid) {
+        insertVictim(out.evictedLineAddr, out.evictedDirty);
+        // The dirty line is parked, not flushed: the flush happens
+        // (and is counted) only when the buffer overflows.
+        out.writeback = false;
+    }
+    return out;
+}
+
+bool
+VictimCachedHierarchy::probe(Addr addr) const
+{
+    if (main_.probe(addr))
+        return true;
+    const Addr laddr =
+        alignDown(addr, main_.config().lineBytes);
+    return std::any_of(buffer_.begin(), buffer_.end(),
+                       [laddr](const VictimLine &entry) {
+                           return entry.lineAddr == laddr;
+                       });
+}
+
+void
+VictimCachedHierarchy::reset()
+{
+    main_.reset();
+    buffer_.clear();
+    victimStats_ = VictimStats{};
+}
+
+double
+VictimCachedHierarchy::mainHitRatio() const
+{
+    const auto &s = main_.stats();
+    if (s.accesses == 0)
+        return 0.0;
+    // Victim hits re-enter the main cache as hits; subtract them
+    // to recover the main cache's own ratio.
+    const double hits = static_cast<double>(s.hits) -
+                        static_cast<double>(
+                            victimStats_.victimHits);
+    return hits / static_cast<double>(s.accesses);
+}
+
+double
+VictimCachedHierarchy::combinedHitRatio() const
+{
+    const auto &s = main_.stats();
+    if (s.accesses == 0)
+        return 0.0;
+    return static_cast<double>(s.hits) /
+           static_cast<double>(s.accesses);
+}
+
+std::string
+VictimCachedHierarchy::describe() const
+{
+    std::ostringstream os;
+    os << main_.config().describe() << " + " << victimConfig_.entries
+       << "-entry victim buffer";
+    return os.str();
+}
+
+} // namespace uatm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Victim cache (Jouppi, the paper's reference [7]): a small fully
+ * associative buffer that catches lines evicted from the main
+ * cache, turning conflict misses back into (near-)hits.
+ *
+ * In the tradeoff methodology's terms a victim cache is a cheap
+ * way to buy hit ratio, so its benefit can be priced against bus
+ * width / write buffers / pipelining through Eq. 6 — which is
+ * exactly what bench_ablation_victim does.
+ */
+
+#ifndef UATM_CACHE_VICTIM_HH
+#define UATM_CACHE_VICTIM_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "cache/cache.hh"
+
+namespace uatm {
+
+/** Victim-buffer configuration. */
+struct VictimConfig
+{
+    /** Fully associative entries (Jouppi evaluated 1-15). */
+    std::uint32_t entries = 4;
+
+    void validate() const;
+};
+
+/** Counters specific to the victim buffer. */
+struct VictimStats
+{
+    /** Main-cache misses satisfied by the buffer (no memory
+     *  traffic). */
+    std::uint64_t victimHits = 0;
+
+    /** Lines pushed into the buffer by main-cache evictions. */
+    std::uint64_t insertions = 0;
+
+    /** Dirty lines the buffer itself had to flush on overflow. */
+    std::uint64_t writebacks = 0;
+};
+
+/**
+ * A main cache plus victim buffer, presenting the same access
+ * interface as SetAssocCache.  The AccessOutcome's `fill` remains
+ * "line fetched from memory": victim hits set neither fill nor
+ * hit=false... specifically:
+ *
+ *  - main hit:    hit = true (unchanged);
+ *  - victim hit:  hit = false, fill = false, victimHit = via
+ *                 stats; the line is swapped back into the main
+ *                 cache with no memory traffic;
+ *  - true miss:   hit = false, fill = true (memory fetch).
+ */
+class VictimCachedHierarchy
+{
+  public:
+    VictimCachedHierarchy(const CacheConfig &main_config,
+                          const VictimConfig &victim_config);
+
+    /** Access; see the class comment for outcome semantics. */
+    AccessOutcome access(const MemoryReference &ref);
+
+    /** True when either level holds the line. */
+    bool probe(Addr addr) const;
+
+    void reset();
+
+    const SetAssocCache &mainCache() const { return main_; }
+    const VictimStats &victimStats() const { return victimStats_; }
+
+    /** Hit ratio of the main cache alone. */
+    double mainHitRatio() const;
+
+    /**
+     * Combined hit ratio counting victim hits as hits — the
+     * quantity to feed into the tradeoff model.
+     */
+    double combinedHitRatio() const;
+
+    std::string describe() const;
+
+  private:
+    struct VictimLine
+    {
+        Addr lineAddr;
+        bool dirty;
+    };
+
+    SetAssocCache main_;
+    VictimConfig victimConfig_;
+    /** MRU at the front. */
+    std::list<VictimLine> buffer_;
+    VictimStats victimStats_;
+
+    /** Push an evicted line; may flush the LRU entry. */
+    void insertVictim(Addr line_addr, bool dirty);
+
+    /** Remove and return the entry for @p line_addr, if held. */
+    bool takeVictim(Addr line_addr, bool &dirty_out);
+};
+
+} // namespace uatm
+
+#endif // UATM_CACHE_VICTIM_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the analytic machine description.
+ */
+
+#include "core/machine.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+void
+Machine::validate() const
+{
+    if (busWidth <= 0)
+        fatal("bus width must be positive");
+    if (lineBytes < busWidth)
+        fatal("line size L = ", lineBytes,
+              " must be at least the bus width D = ", busWidth);
+    if (cycleTime <= 0)
+        fatal("memory cycle time must be positive");
+    if (pipelined) {
+        if (pipelineInterval <= 0)
+            fatal("pipeline interval q must be positive");
+        if (pipelineInterval > cycleTime)
+            fatal("pipeline interval q = ", pipelineInterval,
+                  " exceeds mu_m = ", cycleTime);
+    }
+}
+
+double
+Machine::lineTransferTime() const
+{
+    const double chunks = lineOverBus();
+    if (!pipelined)
+        return chunks * cycleTime;
+    return cycleTime + pipelineInterval * (chunks - 1.0);
+}
+
+Machine
+Machine::withDoubledBus() const
+{
+    Machine m = *this;
+    m.busWidth *= 2.0;
+    UATM_ASSERT(m.lineBytes >= m.busWidth,
+                "doubling the bus would exceed the line size");
+    return m;
+}
+
+Machine
+Machine::withPipelining(double q) const
+{
+    Machine m = *this;
+    m.pipelined = true;
+    m.pipelineInterval = q;
+    m.validate();
+    return m;
+}
+
+Machine
+Machine::withLineBytes(double line_bytes) const
+{
+    Machine m = *this;
+    m.lineBytes = line_bytes;
+    m.validate();
+    return m;
+}
+
+Machine
+Machine::withCycleTime(double mu_m) const
+{
+    Machine m = *this;
+    m.cycleTime = mu_m;
+    m.validate();
+    return m;
+}
+
+std::string
+Machine::describe() const
+{
+    std::ostringstream os;
+    os << "D=" << busWidth << "B L=" << lineBytes << "B mu_m="
+       << cycleTime;
+    if (pipelined)
+        os << " pipelined q=" << pipelineInterval;
+    return os.str();
+}
+
+} // namespace uatm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of the multiple-issue extension.
+ */
+
+#include "core/superscalar.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+void
+SuperscalarModel::validate() const
+{
+    if (issueWidth < 1.0)
+        fatal("issue width must be at least one, got ", issueWidth);
+}
+
+double
+executionTimeSuperscalar(const Workload &workload,
+                         const Machine &machine, double phi,
+                         const SuperscalarModel &model,
+                         const ExecutionModelOptions &options)
+{
+    model.validate();
+    // Eq. 2's base term scales by 1/k; the memory terms are wall-
+    // clock latencies and do not.
+    const double scalar =
+        executionTime(workload, machine, phi, options);
+    const double base = workload.instructions -
+                        workload.lambdaM(machine.lineBytes);
+    return scalar - base + base * model.hitTime();
+}
+
+double
+missFactorSuperscalar(const Machine &base, double phi_base,
+                      double alpha_base, const Machine &improved,
+                      double phi_improved, double alpha_improved,
+                      const SuperscalarModel &model)
+{
+    model.validate();
+    const double a = perMissCost(base, phi_base, alpha_base);
+    const double b =
+        perMissCost(improved, phi_improved, alpha_improved);
+    const double h = model.hitTime();
+    if (a <= h || b <= h)
+        fatal("per-miss cost must exceed the hit time 1/k for the "
+              "superscalar Eq. 3 (costs ", a, ", ", b, ", h = ", h,
+              ")");
+    return (a - h) / (b - h);
+}
+
+double
+missFactorDoubleBusSuperscalar(const TradeoffContext &ctx,
+                               const SuperscalarModel &model)
+{
+    ctx.validate();
+    const Machine &m = ctx.machine;
+    const Machine wide = m.withDoubledBus();
+    return missFactorSuperscalar(m, m.lineOverBus(), ctx.alpha,
+                                 wide, wide.lineOverBus(),
+                                 ctx.alpha, model);
+}
+
+double
+missFactorWriteBuffersSuperscalar(const TradeoffContext &ctx,
+                                  const SuperscalarModel &model)
+{
+    ctx.validate();
+    const Machine &m = ctx.machine;
+    return missFactorSuperscalar(m, m.lineOverBus(), ctx.alpha, m,
+                                 m.lineOverBus(), 0.0, model);
+}
+
+double
+missFactorPipelinedSuperscalar(const TradeoffContext &ctx,
+                               double q,
+                               const SuperscalarModel &model)
+{
+    ctx.validate();
+    const Machine piped = ctx.machine.withPipelining(q);
+    return missFactorSuperscalar(ctx.machine,
+                                 ctx.machine.lineOverBus(),
+                                 ctx.alpha, piped, 0.0, ctx.alpha,
+                                 model);
+}
+
+std::optional<double>
+pipelinedCrossoverSuperscalar(const TradeoffContext &ctx, double q,
+                              const SuperscalarModel &model,
+                              double mu_lo, double mu_hi)
+{
+    UATM_ASSERT(mu_lo > 0.0 && mu_hi > mu_lo,
+                "invalid cycle-time bracket");
+    auto gap = [&](double mu) {
+        TradeoffContext at = ctx;
+        at.machine = ctx.machine.withCycleTime(mu);
+        return missFactorPipelinedSuperscalar(at, q, model) -
+               missFactorDoubleBusSuperscalar(at, model);
+    };
+    double lo = mu_lo, hi = mu_hi;
+    double glo = gap(lo);
+    const double ghi = gap(hi);
+    if (glo == 0.0)
+        return lo;
+    if (ghi == 0.0)
+        return hi;
+    if ((glo > 0.0) == (ghi > 0.0))
+        return std::nullopt;
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const double gmid = gap(mid);
+        if (std::abs(gmid) < 1e-12 || hi - lo < 1e-9)
+            return mid;
+        if ((gmid > 0.0) == (glo > 0.0)) {
+            lo = mid;
+            glo = gmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace uatm

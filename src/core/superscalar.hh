@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multiple-instruction-issue extension of the execution-time model
+ * — the future work the paper announces in its Summary ("systems
+ * where the throughput could be more than one instruction per
+ * clock cycle"), built with the same methodology.
+ *
+ * With issue width k, the non-missing instructions retire k per
+ * cycle, so Eq. 2 becomes
+ *
+ *   X_k = (E - Lambda_m)/k + (R/L) phi mu_m + (alpha R/D) mu_m
+ *         + W mu_m
+ *
+ * and the equal-performance miss factor (Eq. 3) becomes
+ *
+ *   r_k = (A - 1/k) / (B - 1/k)
+ *
+ * where A and B are the per-miss costs of the base and improved
+ * systems: the "1" that Eq. 3 subtracts is the hit time a miss
+ * displaces, which shrinks to 1/k.  Two consequences follow
+ * directly:
+ *
+ *  - since A > B, r_k decreases monotonically with k and tends to
+ *    the pure cost ratio A/B: at wider issue a feature trades
+ *    slightly *less* hit ratio, because each displaced hit was
+ *    cheaper;
+ *  - crossovers between features compared against the same base
+ *    (e.g. pipelined memory vs bus doubling) are *invariant* to
+ *    the issue width: r equality reduces to B equality, and h
+ *    cancels.
+ */
+
+#ifndef UATM_CORE_SUPERSCALAR_HH
+#define UATM_CORE_SUPERSCALAR_HH
+
+#include <optional>
+
+#include "core/execution_time.hh"
+#include "core/tradeoff.hh"
+
+namespace uatm {
+
+/** Issue-width parameterisation of the model. */
+struct SuperscalarModel
+{
+    /** Instructions issued per cycle (k >= 1; k = 1 recovers the
+     *  paper's model exactly). */
+    double issueWidth = 1.0;
+
+    void validate() const;
+
+    /** Effective hit/non-memory instruction time: 1/k cycles. */
+    double hitTime() const { return 1.0 / issueWidth; }
+};
+
+/**
+ * Execution time under issue width k (Eq. 2 with the base term
+ * divided by k).
+ */
+double executionTimeSuperscalar(
+    const Workload &workload, const Machine &machine, double phi,
+    const SuperscalarModel &model,
+    const ExecutionModelOptions &options = {});
+
+/**
+ * Generalised Eq. 3 under issue width k:
+ * r = (A - 1/k)/(B - 1/k).  fatal() when a per-miss cost does not
+ * exceed the hit time.
+ */
+double missFactorSuperscalar(const Machine &base, double phi_base,
+                             double alpha_base,
+                             const Machine &improved,
+                             double phi_improved,
+                             double alpha_improved,
+                             const SuperscalarModel &model);
+
+/** Bus-doubling factor under issue width k. */
+double missFactorDoubleBusSuperscalar(const TradeoffContext &ctx,
+                                      const SuperscalarModel &model);
+
+/** Write-buffer factor under issue width k. */
+double missFactorWriteBuffersSuperscalar(
+    const TradeoffContext &ctx, const SuperscalarModel &model);
+
+/** Pipelined-memory factor under issue width k. */
+double missFactorPipelinedSuperscalar(const TradeoffContext &ctx,
+                                      double q,
+                                      const SuperscalarModel &model);
+
+/**
+ * The mu_m where the pipelined system overtakes bus doubling under
+ * issue width k.  Provably identical for every k (the hit time
+ * cancels); exposed so that invariance can be demonstrated.
+ */
+std::optional<double> pipelinedCrossoverSuperscalar(
+    const TradeoffContext &ctx, double q,
+    const SuperscalarModel &model, double mu_lo, double mu_hi);
+
+} // namespace uatm
+
+#endif // UATM_CORE_SUPERSCALAR_HH

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Implementation of the trace-driven timing engine.
+ */
+
+#include "cpu/timing_engine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+const char *
+prefetchPolicyName(PrefetchPolicy policy)
+{
+    switch (policy) {
+      case PrefetchPolicy::None:
+        return "none";
+      case PrefetchPolicy::OnMiss:
+        return "on-miss";
+      case PrefetchPolicy::Tagged:
+        return "tagged";
+    }
+    panic("unknown PrefetchPolicy");
+}
+
+void
+CpuConfig::validate() const
+{
+    if (mshrs == 0)
+        fatal("NB needs at least one MSHR");
+    if (feature != StallFeature::NB && mshrs != 1)
+        fatal("multiple MSHRs are only meaningful for the NB "
+              "feature");
+}
+
+double
+TimingStats::phi(Cycles mu_m) const
+{
+    // With prefetching, part of the stall pool is paid on late
+    // prefetches rather than demand fills; normalising by both
+    // implements the paper's "phi can be scaled down to represent
+    // the average miss penalty" reading (Sec. 3.3).
+    const std::uint64_t events = fills + prefetchesLate;
+    if (events == 0 || mu_m == 0)
+        return 0.0;
+    const double pool =
+        static_cast<double>(initialMissWait) +
+        static_cast<double>(inflightAccessStall) +
+        static_cast<double>(missSerializationStall);
+    return pool / (static_cast<double>(events) *
+                   static_cast<double>(mu_m));
+}
+
+double
+TimingStats::cpi() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(cycles) /
+           static_cast<double>(instructions);
+}
+
+double
+TimingStats::meanMemoryDelay() const
+{
+    if (references == 0)
+        return 0.0;
+    // Sec. 4.5: (X - N_LS) / data refs, i.e. the hit cycles stay in
+    // the numerator: (X - E)/refs + 1.
+    const double delay = static_cast<double>(cycles) -
+                         static_cast<double>(instructions);
+    return delay / static_cast<double>(references) + 1.0;
+}
+
+std::string
+TimingStats::format() const
+{
+    std::ostringstream os;
+    os << "  cycles (X)          = " << cycles << '\n'
+       << "  instructions (E)    = " << instructions << '\n'
+       << "  CPI                 = " << cpi() << '\n'
+       << "  data references     = " << references << '\n'
+       << "  fills               = " << fills << '\n'
+       << "  write-arounds (W)   = " << writeArounds << '\n'
+       << "  initial miss wait   = " << initialMissWait << '\n'
+       << "  in-flight stalls    = " << inflightAccessStall << '\n'
+       << "  miss serialization  = " << missSerializationStall << '\n'
+       << "  flush stalls        = " << flushStall << '\n'
+       << "  write stalls        = " << writeStall << '\n'
+       << "  buffer-full stalls  = " << bufferFullStall << '\n'
+       << "  port contention     = " << portContentionWait << '\n'
+       << "  prefetches          = " << prefetchesIssued
+       << " (useful " << prefetchesUseful << ", late "
+       << prefetchesLate << ")\n"
+       << "  mean memory delay   = " << meanMemoryDelay() << '\n';
+    return os.str();
+}
+
+CounterGroup
+TimingStats::counters() const
+{
+    CounterGroup group;
+    group.increment("sim.cycles", cycles);
+    group.increment("sim.instructions", instructions);
+    group.increment("sim.references", references);
+    group.increment("sim.fills", fills);
+    group.increment("sim.write_arounds", writeArounds);
+    group.increment("stall.initial_miss_wait", initialMissWait);
+    group.increment("stall.inflight_access", inflightAccessStall);
+    group.increment("stall.miss_serialization",
+                    missSerializationStall);
+    group.increment("stall.flush", flushStall);
+    group.increment("stall.write", writeStall);
+    group.increment("stall.buffer_full", bufferFullStall);
+    group.increment("port.contention_wait", portContentionWait);
+    group.increment("prefetch.issued", prefetchesIssued);
+    group.increment("prefetch.useful", prefetchesUseful);
+    group.increment("prefetch.late", prefetchesLate);
+    return group;
+}
+
+TimingEngine::TimingEngine(const CacheConfig &cache_config,
+                           const MemoryConfig &memory_config,
+                           const WriteBufferConfig &wbuf_config,
+                           const CpuConfig &cpu_config)
+    : cache_(cache_config), timing_(memory_config),
+      wbufConfig_(wbuf_config), cpuConfig_(cpu_config),
+      scheduler_(timing_, wbuf_config)
+{
+    cpuConfig_.validate();
+    UATM_ASSERT(cache_config.lineBytes >=
+                    memory_config.busWidthBytes,
+                "line size must be at least the bus width");
+}
+
+void
+TimingEngine::pruneCompleted(Cycles now)
+{
+    std::erase_if(inflight_, [now](const InflightFill &f) {
+        return f.complete <= now;
+    });
+}
+
+const TimingEngine::InflightFill *
+TimingEngine::findInflight(Addr line_addr) const
+{
+    for (const auto &fill : inflight_) {
+        if (fill.lineAddr == line_addr)
+            return &fill;
+    }
+    return nullptr;
+}
+
+Cycles
+TimingEngine::latestCompletion(bool demand_only) const
+{
+    Cycles latest = 0;
+    for (const auto &fill : inflight_) {
+        if (demand_only && fill.isPrefetch)
+            continue;
+        latest = std::max(latest, fill.complete);
+    }
+    return latest;
+}
+
+Cycles
+TimingEngine::chunkArrival(const InflightFill &fill, Addr addr) const
+{
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        (addr - fill.lineAddr) / timing_.config().busWidthBytes);
+    UATM_ASSERT(chunk < fill.arrivalByChunk.size(),
+                "address outside the in-flight line");
+    return fill.arrivalByChunk[chunk];
+}
+
+TimingEngine::InflightFill &
+TimingEngine::issueFill(Cycles when, Addr line_addr, Addr addr,
+                        TimingStats &stats)
+{
+    const std::uint32_t line_bytes = cache_.config().lineBytes;
+    const ReadGrant grant = scheduler_.requestRead(when, line_bytes);
+    stats.portContentionWait += grant.busWait;
+
+    const std::vector<Cycles> order =
+        timing_.chunkCompletionTimes(grant.start, line_bytes);
+    const std::uint32_t n = timing_.chunksPerLine(line_bytes);
+
+    InflightFill fill;
+    fill.lineAddr = line_addr;
+    fill.start = grant.start;
+    fill.complete = order.back();
+    fill.arrivalByChunk.resize(n);
+    // Requested-chunk-first, then wraparound: the chunk holding the
+    // faulting address is delivered first.
+    const std::uint32_t first = static_cast<std::uint32_t>(
+        (addr - line_addr) / timing_.config().busWidthBytes);
+    for (std::uint32_t k = 0; k < n; ++k)
+        fill.arrivalByChunk[(first + k) % n] = order[k];
+
+    inflight_.push_back(std::move(fill));
+    ++stats.fills;
+    return inflight_.back();
+}
+
+void
+TimingEngine::issuePrefetch(Cycles when, Addr line_addr,
+                            TimingStats &stats)
+{
+    if (cache_.probe(line_addr) || findInflight(line_addr))
+        return;
+
+    const std::uint32_t line_bytes = cache_.config().lineBytes;
+    const PrefetchOutcome outcome = cache_.prefetchLine(line_addr);
+    UATM_ASSERT(outcome.inserted, "prefetch of an absent line "
+                "must insert it");
+
+    // The victim flush and the prefetch transfer occupy the port
+    // (serialised by the scheduler) but never stall the CPU.
+    if (outcome.writeback && !cpuConfig_.suppressFlushTraffic)
+        scheduler_.postWrite(when, line_bytes);
+    const ReadGrant grant = scheduler_.requestRead(when, line_bytes);
+
+    const std::vector<Cycles> order =
+        timing_.chunkCompletionTimes(grant.start, line_bytes);
+    InflightFill fill;
+    fill.lineAddr = line_addr;
+    fill.start = grant.start;
+    fill.complete = order.back();
+    fill.isPrefetch = true;
+    fill.arrivalByChunk = order; // sequential from the line base
+    inflight_.push_back(std::move(fill));
+
+    ++stats.prefetchesIssued;
+    prefetchedUntouched_.insert(line_addr);
+    if (prefetchedUntouched_.size() > 4096)
+        prunePrefetchSet();
+}
+
+void
+TimingEngine::prunePrefetchSet()
+{
+    std::erase_if(prefetchedUntouched_, [this](Addr line) {
+        return !cache_.probe(line);
+    });
+}
+
+TimingStats
+TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
+{
+    source.reset();
+    cache_.reset();
+    cache_.setColdTracking(max_refs <= (1u << 22));
+    scheduler_.reset();
+    inflight_.clear();
+    prefetchedUntouched_.clear();
+
+    TimingStats stats;
+    Cycles now = 0;
+    const std::uint32_t line_bytes = cache_.config().lineBytes;
+    const StallFeature feature = cpuConfig_.feature;
+
+    for (std::uint64_t i = 0; i < max_refs; ++i) {
+        const auto ref = source.next();
+        if (!ref)
+            break;
+
+        // Non-memory instructions run one per cycle while any fill
+        // proceeds in the background.
+        now += ref->gap;
+        stats.instructions += static_cast<std::uint64_t>(ref->gap) + 1;
+        ++stats.references;
+        pruneCompleted(now);
+
+        Cycles issue = now;
+
+        // BL: while the cache bus is locked by a demand fill,
+        // every load/store stalls until the line is completely
+        // fetched.  Prefetch transfers only hold the memory port.
+        if (feature == StallFeature::BL && !inflight_.empty()) {
+            const Cycles complete =
+                latestCompletion(/*demand_only=*/true);
+            if (complete > issue) {
+                stats.inflightAccessStall += complete - issue;
+                issue = complete;
+            }
+            pruneCompleted(issue);
+        }
+
+        const AccessOutcome outcome = cache_.access(*ref);
+
+        if (outcome.hit) {
+            // A hit can still stall against the line being filled.
+            if (const InflightFill *fill =
+                    findInflight(outcome.lineAddr);
+                fill && fill->complete > issue) {
+                Cycles until = issue;
+                if (fill->isPrefetch) {
+                    // A demand access caught the prefetched data
+                    // on the bus: wait for the needed chunk only,
+                    // whatever the stalling feature (the cache bus
+                    // is not locked by prefetches).
+                    until = std::max(issue,
+                                     chunkArrival(*fill, ref->addr));
+                    ++stats.prefetchesLate;
+                } else {
+                    switch (feature) {
+                      case StallFeature::FS:
+                        panic("full-stalling CPU observed an "
+                              "in-flight demand line");
+                      case StallFeature::BL:
+                        // Already handled by the bus-locked stall.
+                        break;
+                      case StallFeature::BNL1:
+                        until = fill->complete;
+                        break;
+                      case StallFeature::BNL2: {
+                        const Cycles arrival =
+                            chunkArrival(*fill, ref->addr);
+                        // Arrived part: proceed; otherwise wait
+                        // for the whole line.
+                        until = arrival <= issue ? issue
+                                                 : fill->complete;
+                        break;
+                      }
+                      case StallFeature::BNL3:
+                      case StallFeature::NB:
+                        until = std::max(
+                            issue, chunkArrival(*fill, ref->addr));
+                        break;
+                    }
+                }
+                if (until > issue) {
+                    stats.inflightAccessStall += until - issue;
+                    issue = until;
+                    pruneCompleted(issue);
+                }
+            }
+
+            // Prefetch bookkeeping: first demand touch of a
+            // prefetched line counts as useful and, under the
+            // tagged policy, fetches the successor.
+            if (cpuConfig_.prefetch != PrefetchPolicy::None) {
+                auto it =
+                    prefetchedUntouched_.find(outcome.lineAddr);
+                if (it != prefetchedUntouched_.end()) {
+                    prefetchedUntouched_.erase(it);
+                    ++stats.prefetchesUseful;
+                    if (cpuConfig_.prefetch ==
+                        PrefetchPolicy::Tagged) {
+                        issuePrefetch(issue,
+                                      outcome.lineAddr +
+                                          line_bytes,
+                                      stats);
+                    }
+                }
+            }
+
+            Cycles cost = 1;
+            if (outcome.storeToMemory) {
+                // Write-through hit: the store also goes to memory.
+                const Cycles resume =
+                    scheduler_.postWrite(issue, ref->size);
+                if (resume > issue) {
+                    stats.writeStall += resume - issue;
+                    cost = std::max<Cycles>(1, resume - issue);
+                }
+            }
+            now = issue + cost;
+            continue;
+        }
+
+        // ---- miss path ----
+
+        // A new miss serialises behind outstanding fills unless the
+        // NB feature has a free MSHR.
+        if (!inflight_.empty()) {
+            std::size_t demand_inflight = 0;
+            for (const auto &fill : inflight_)
+                demand_inflight += !fill.isPrefetch;
+            const bool free_mshr =
+                demand_inflight == 0 ||
+                (feature == StallFeature::NB &&
+                 demand_inflight < cpuConfig_.mshrs);
+            if (!free_mshr) {
+                // Wait for outstanding *demand* fills; in-flight
+                // prefetches only delay the grant via the port.
+                const Cycles complete =
+                    latestCompletion(/*demand_only=*/true);
+                if (complete > issue) {
+                    stats.missSerializationStall += complete - issue;
+                    issue = complete;
+                }
+                pruneCompleted(issue);
+            }
+        }
+
+        if (!outcome.fill) {
+            // Write-around store miss: a <= D-byte memory write.
+            ++stats.writeArounds;
+            const Cycles resume = scheduler_.postWrite(issue,
+                                                       ref->size);
+            Cycles cost = 1;
+            if (resume > issue) {
+                stats.writeStall += resume - issue;
+                cost = std::max<Cycles>(1, resume - issue);
+            }
+            now = issue + cost;
+            continue;
+        }
+
+        // With no write buffer the dirty victim must be written
+        // back before the fill can overwrite it.
+        Cycles fill_request = issue;
+        const bool flush_victim =
+            outcome.writeback && !cpuConfig_.suppressFlushTraffic;
+        if (flush_victim && wbufConfig_.depth == 0) {
+            const Cycles done =
+                scheduler_.postWrite(fill_request, line_bytes);
+            stats.flushStall += done - fill_request;
+            fill_request = done;
+        }
+
+        // Copy the record: later prefetch issues may push into
+        // inflight_ and invalidate references into it.
+        const InflightFill fill =
+            issueFill(fill_request, outcome.lineAddr, ref->addr,
+                      stats);
+
+        Cycles resume;
+        switch (feature) {
+          case StallFeature::FS:
+            resume = fill.complete;
+            stats.initialMissWait += fill.complete - fill.start;
+            break;
+          case StallFeature::NB:
+            // Fire and forget; the consumer stalls later if it
+            // touches the line too early.
+            resume = issue;
+            break;
+          default: {
+            const Cycles first_chunk =
+                chunkArrival(fill, ref->addr);
+            resume = first_chunk;
+            stats.initialMissWait += first_chunk - fill.start;
+            break;
+          }
+        }
+
+        if (flush_victim && wbufConfig_.depth > 0) {
+            // The victim is parked in the buffer and posted once
+            // the fill has delivered the line (Sec. 5.3, note (1)).
+            const Cycles wb_resume =
+                scheduler_.postWrite(fill.complete, line_bytes);
+            if (wb_resume > resume &&
+                wb_resume > fill.complete) {
+                stats.bufferFullStall +=
+                    wb_resume - std::max(resume, fill.complete);
+                resume = std::max(resume, wb_resume);
+            }
+        }
+
+        // A demand miss triggers the next-line prefetch (both the
+        // on-miss and tagged policies); the transfer queues behind
+        // the demand fill on the port.
+        if (cpuConfig_.prefetch != PrefetchPolicy::None) {
+            issuePrefetch(issue, outcome.lineAddr + line_bytes,
+                          stats);
+        }
+
+        // The missing load/store consumes its stall in place of the
+        // base cycle (Eq. 2's accounting), never less than 1 cycle.
+        now = std::max(resume, issue + 1);
+        if (feature == StallFeature::FS)
+            pruneCompleted(now);
+    }
+
+    stats.cycles = now;
+    return stats;
+}
+
+} // namespace uatm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of the line-fill delay model.
+ */
+
+#include "linesize/delay_model.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+void
+LineDelayModel::validate() const
+{
+    if (c < 1.0)
+        fatal("latency c must be at least the one-cycle hit time");
+    if (beta <= 0.0)
+        fatal("bus speed beta must be positive");
+    if (busWidth <= 0.0)
+        fatal("bus width must be positive");
+}
+
+double
+LineDelayModel::fillTime(double line_bytes) const
+{
+    UATM_ASSERT(line_bytes >= busWidth,
+                "line must be at least one bus transfer");
+    return c + beta * line_bytes / busWidth;
+}
+
+double
+LineDelayModel::meanMemoryDelay(double miss_ratio,
+                                double line_bytes) const
+{
+    UATM_ASSERT(miss_ratio >= 0.0 && miss_ratio <= 1.0,
+                "miss ratio must be in [0, 1]");
+    // Eq. 15: (1 - HR)(c + beta L/D) + HR * 1.
+    return miss_ratio * fillTime(line_bytes) + (1.0 - miss_ratio);
+}
+
+double
+LineDelayModel::smithObjective(double miss_ratio,
+                               double line_bytes) const
+{
+    UATM_ASSERT(miss_ratio >= 0.0 && miss_ratio <= 1.0,
+                "miss ratio must be in [0, 1]");
+    // Eq. 16 with c' = c - 1.
+    return miss_ratio * (smithLatency() + beta * line_bytes /
+                                              busWidth);
+}
+
+LineDelayModel
+LineDelayModel::fromNanoseconds(double latency_ns, double ns_per_byte,
+                                double cpu_cycle_ns,
+                                double bus_width_bytes)
+{
+    UATM_ASSERT(cpu_cycle_ns > 0.0, "CPU cycle time must be positive");
+    LineDelayModel m;
+    // Latency is normalised and carries the one-cycle hit on top.
+    m.c = latency_ns / cpu_cycle_ns + 1.0;
+    m.beta = ns_per_byte * bus_width_bytes / cpu_cycle_ns;
+    m.busWidth = bus_width_bytes;
+    m.validate();
+    return m;
+}
+
+std::string
+LineDelayModel::describe() const
+{
+    std::ostringstream os;
+    os << "c'=" << smithLatency() << " beta=" << beta << " D="
+       << busWidth << "B";
+    return os.str();
+}
+
+} // namespace uatm

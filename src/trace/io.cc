@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Implementation of the trace file formats.
+ */
+
+#include "trace/io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+namespace {
+
+char
+kindToChar(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::Load:
+        return 'L';
+      case RefKind::Store:
+        return 'S';
+      case RefKind::IFetch:
+        return 'I';
+    }
+    panic("unknown RefKind");
+}
+
+RefKind
+charToKind(char c)
+{
+    switch (c) {
+      case 'L':
+        return RefKind::Load;
+      case 'S':
+        return RefKind::Store;
+      case 'I':
+        return RefKind::IFetch;
+      default:
+        fatal("bad reference kind character '", c, "' in trace");
+    }
+}
+
+std::ofstream
+openOut(const std::string &path, std::ios::openmode mode)
+{
+    std::ofstream out(path, mode);
+    if (!out)
+        fatal("cannot open trace file '", path, "' for writing");
+    return out;
+}
+
+std::ifstream
+openIn(const std::string &path, std::ios::openmode mode)
+{
+    std::ifstream in(path, mode);
+    if (!in)
+        fatal("cannot open trace file '", path, "' for reading");
+    return in;
+}
+
+constexpr std::uint64_t kBinaryMagic = 0x5541544d54524331ull; // UATMTRC1
+
+} // namespace
+
+void
+TextTraceFormat::write(const Trace &trace, std::ostream &out)
+{
+    out << "# uatm text trace, " << trace.size() << " references\n";
+    for (const auto &ref : trace.refs()) {
+        out << kindToChar(ref.kind) << ' ' << std::hex << ref.addr
+            << std::dec << ' ' << unsigned(ref.size) << ' '
+            << ref.gap << '\n';
+    }
+}
+
+Trace
+TextTraceFormat::read(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char kind_char = 0;
+        std::uint64_t addr = 0;
+        unsigned size = 0;
+        std::uint32_t gap = 0;
+        ls >> kind_char >> std::hex >> addr >> std::dec >> size >> gap;
+        if (!ls)
+            fatal("malformed trace line ", lineno, ": '", line, "'");
+        if (!isValidAccessSize(static_cast<std::uint8_t>(size)))
+            fatal("bad access size ", size, " on trace line ", lineno);
+        MemoryReference ref;
+        ref.kind = charToKind(kind_char);
+        ref.addr = addr;
+        ref.size = static_cast<std::uint8_t>(size);
+        ref.gap = gap;
+        trace.append(ref);
+    }
+    return trace;
+}
+
+void
+TextTraceFormat::writeFile(const Trace &trace, const std::string &path)
+{
+    auto out = openOut(path, std::ios::out);
+    write(trace, out);
+}
+
+Trace
+TextTraceFormat::readFile(const std::string &path)
+{
+    auto in = openIn(path, std::ios::in);
+    return read(in);
+}
+
+void
+BinaryTraceFormat::write(const Trace &trace, std::ostream &out)
+{
+    std::uint64_t magic = kBinaryMagic;
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    std::uint64_t count = trace.size();
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto &ref : trace.refs()) {
+        std::array<char, 14> record{};
+        std::memcpy(record.data(), &ref.addr, 8);
+        std::memcpy(record.data() + 8, &ref.gap, 4);
+        record[12] = static_cast<char>(ref.size);
+        record[13] = static_cast<char>(ref.kind);
+        out.write(record.data(), record.size());
+    }
+}
+
+Trace
+BinaryTraceFormat::read(std::istream &in)
+{
+    std::uint64_t magic = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (!in || magic != kBinaryMagic)
+        fatal("not a uatm binary trace (bad magic)");
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in)
+        fatal("truncated binary trace header");
+    Trace trace;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::array<char, 14> record{};
+        in.read(record.data(), record.size());
+        if (!in)
+            fatal("truncated binary trace at record ", i);
+        MemoryReference ref;
+        std::memcpy(&ref.addr, record.data(), 8);
+        std::memcpy(&ref.gap, record.data() + 8, 4);
+        ref.size = static_cast<std::uint8_t>(record[12]);
+        const auto kind_raw = static_cast<std::uint8_t>(record[13]);
+        if (kind_raw > static_cast<std::uint8_t>(RefKind::IFetch))
+            fatal("bad reference kind in binary trace record ", i);
+        ref.kind = static_cast<RefKind>(kind_raw);
+        if (!isValidAccessSize(ref.size))
+            fatal("bad access size in binary trace record ", i);
+        trace.append(ref);
+    }
+    return trace;
+}
+
+void
+BinaryTraceFormat::writeFile(const Trace &trace,
+                             const std::string &path)
+{
+    auto out = openOut(path, std::ios::out | std::ios::binary);
+    write(trace, out);
+}
+
+Trace
+BinaryTraceFormat::readFile(const std::string &path)
+{
+    auto in = openIn(path, std::ios::in | std::ios::binary);
+    return read(in);
+}
+
+} // namespace uatm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace persistence: a dinero-style text format and a compact
+ * binary format, so generated workloads can be captured, diffed and
+ * replayed across machines.
+ */
+
+#ifndef UATM_TRACE_IO_HH
+#define UATM_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace uatm {
+
+/**
+ * Text format, one reference per line:
+ *
+ *     <kind> <hex addr> <size> <gap>
+ *
+ * where kind is 'L', 'S' or 'I'.  Lines starting with '#' and blank
+ * lines are ignored on read.
+ */
+struct TextTraceFormat
+{
+    /** Write @p trace to @p out. */
+    static void write(const Trace &trace, std::ostream &out);
+
+    /** Parse a trace; fatal() on malformed input. */
+    static Trace read(std::istream &in);
+
+    /** File-path conveniences. */
+    static void writeFile(const Trace &trace, const std::string &path);
+    static Trace readFile(const std::string &path);
+};
+
+/**
+ * Binary format: an 8-byte magic/version header followed by fixed
+ * 14-byte little-endian records (addr:8, gap:4, size:1, kind:1).
+ */
+struct BinaryTraceFormat
+{
+    static void write(const Trace &trace, std::ostream &out);
+    static Trace read(std::istream &in);
+    static void writeFile(const Trace &trace, const std::string &path);
+    static Trace readFile(const std::string &path);
+};
+
+} // namespace uatm
+
+#endif // UATM_TRACE_IO_HH

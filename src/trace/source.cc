@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the trace container and source adaptors.
+ */
+
+#include "trace/source.hh"
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+std::vector<MemoryReference>
+TraceSource::drain(std::size_t max_refs)
+{
+    std::vector<MemoryReference> out;
+    out.reserve(max_refs);
+    while (out.size() < max_refs) {
+        auto ref = next();
+        if (!ref)
+            break;
+        out.push_back(*ref);
+    }
+    return out;
+}
+
+Trace::Trace(std::vector<MemoryReference> refs)
+    : refs_(std::move(refs))
+{
+}
+
+void
+Trace::append(const MemoryReference &ref)
+{
+    UATM_ASSERT(isValidAccessSize(ref.size),
+                "invalid access size ", int(ref.size));
+    refs_.push_back(ref);
+}
+
+const MemoryReference &
+Trace::at(std::size_t i) const
+{
+    UATM_ASSERT(i < refs_.size(), "trace index ", i, " out of range");
+    return refs_[i];
+}
+
+std::uint64_t
+Trace::instructionCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ref : refs_)
+        total += static_cast<std::uint64_t>(ref.gap) + 1;
+    return total;
+}
+
+std::uint64_t
+Trace::countKind(RefKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &ref : refs_)
+        n += ref.kind == kind;
+    return n;
+}
+
+std::optional<MemoryReference>
+Trace::next()
+{
+    if (cursor_ >= refs_.size())
+        return std::nullopt;
+    return refs_[cursor_++];
+}
+
+LimitedSource::LimitedSource(TraceSource &source, std::uint64_t limit)
+    : source_(source), limit_(limit)
+{
+}
+
+std::optional<MemoryReference>
+LimitedSource::next()
+{
+    if (emitted_ >= limit_)
+        return std::nullopt;
+    auto ref = source_.next();
+    if (ref)
+        ++emitted_;
+    return ref;
+}
+
+void
+LimitedSource::reset()
+{
+    source_.reset();
+    emitted_ = 0;
+}
+
+} // namespace uatm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming trace-source interface and the in-memory trace container.
+ *
+ * Simulation runs of hundreds of millions of references should not
+ * require materialising the trace, so generators implement a pull
+ * interface; small traces for tests use the Trace container.
+ */
+
+#ifndef UATM_TRACE_SOURCE_HH
+#define UATM_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/ref.hh"
+
+namespace uatm {
+
+/**
+ * Pull-based producer of memory references.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Next reference, or nullopt when the source is exhausted. */
+    virtual std::optional<MemoryReference> next() = 0;
+
+    /** Restart the source from the beginning. */
+    virtual void reset() = 0;
+
+    /**
+     * Drain up to @p max_refs references into a vector.  Useful for
+     * tests and for capturing a generator's output to disk.
+     */
+    std::vector<MemoryReference> drain(std::size_t max_refs);
+};
+
+/**
+ * An in-memory trace; doubles as a TraceSource for replay.
+ */
+class Trace : public TraceSource
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<MemoryReference> refs);
+
+    /** Append one reference. */
+    void append(const MemoryReference &ref);
+
+    std::size_t size() const { return refs_.size(); }
+    bool empty() const { return refs_.empty(); }
+    const MemoryReference &at(std::size_t i) const;
+    const std::vector<MemoryReference> &refs() const { return refs_; }
+
+    /** Total instruction count E implied by the trace
+     *  (every reference is itself one instruction). */
+    std::uint64_t instructionCount() const;
+
+    /** Number of Load / Store / IFetch records respectively. */
+    std::uint64_t countKind(RefKind kind) const;
+
+    std::optional<MemoryReference> next() override;
+    void reset() override { cursor_ = 0; }
+
+  private:
+    std::vector<MemoryReference> refs_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Caps another source at a fixed number of references.  Generators
+ * are typically endless; benchmarks wrap them in a LimitedSource.
+ */
+class LimitedSource : public TraceSource
+{
+  public:
+    /** @param source borrowed; must outlive this wrapper. */
+    LimitedSource(TraceSource &source, std::uint64_t limit);
+
+    std::optional<MemoryReference> next() override;
+    void reset() override;
+
+  private:
+    TraceSource &source_;
+    std::uint64_t limit_;
+    std::uint64_t emitted_ = 0;
+};
+
+} // namespace uatm
+
+#endif // UATM_TRACE_SOURCE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload characterisation: summarises a reference stream in the
+ * paper's own vocabulary (loads, stores, instruction count, memory
+ * reference density) plus footprint measures used when tuning the
+ * SPEC92-like profiles.
+ */
+
+#ifndef UATM_TRACE_TRACE_STATS_HH
+#define UATM_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "trace/source.hh"
+
+namespace uatm {
+
+/**
+ * Accumulates per-reference statistics; feed it a stream, then read
+ * the summary fields.
+ */
+class WorkloadProfile
+{
+  public:
+    /** Granularity for the footprint measure (bytes, power of 2). */
+    explicit WorkloadProfile(std::uint64_t footprint_block = 32);
+
+    /** Fold one reference into the profile. */
+    void add(const MemoryReference &ref);
+
+    /** Consume up to @p max_refs references from @p source. */
+    void consume(TraceSource &source, std::uint64_t max_refs);
+
+    std::uint64_t references() const { return refs_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+
+    /** Total instructions E (gaps + the references themselves). */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Distinct footprint blocks touched. */
+    std::uint64_t footprintBlocks() const;
+
+    /** Footprint in bytes. */
+    std::uint64_t footprintBytes() const;
+
+    /** Fraction of instructions that are loads/stores. */
+    double memoryReferenceDensity() const;
+
+    /** stores / (loads + stores). */
+    double storeFraction() const;
+
+    /** Multi-line human-readable summary. */
+    std::string format(const std::string &name) const;
+
+  private:
+    std::uint64_t footprintBlock_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::unordered_set<Addr> blocks_;
+};
+
+} // namespace uatm
+
+#endif // UATM_TRACE_TRACE_STATS_HH

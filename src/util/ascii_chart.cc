@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Implementation of the ASCII line-chart renderer.
+ */
+
+#include "util/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace uatm {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height)
+{
+    UATM_ASSERT(width_ >= 10 && height_ >= 4,
+                "chart grid is too small to be legible");
+}
+
+void
+AsciiChart::addSeries(ChartSeries series)
+{
+    UATM_ASSERT(series.x.size() == series.y.size(),
+                "series '", series.label, "' has mismatched x/y sizes");
+    series_.push_back(std::move(series));
+}
+
+std::string
+AsciiChart::render() const
+{
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin, ymin = xmin, ymax = -xmin;
+    bool any = false;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            any = true;
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+        }
+    }
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (!any) {
+        os << "(empty chart)\n";
+        return os.str();
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1.0;
+    if (ymax == ymin)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    auto plot = [&](double x, double y, char glyph) {
+        const double fx = (x - xmin) / (xmax - xmin);
+        const double fy = (y - ymin) / (ymax - ymin);
+        auto col = static_cast<std::size_t>(
+            std::lround(fx * static_cast<double>(width_ - 1)));
+        auto row = static_cast<std::size_t>(
+            std::lround((1.0 - fy) * static_cast<double>(height_ - 1)));
+        grid[row][col] = glyph;
+    };
+
+    for (const auto &s : series_) {
+        // Linear interpolation between adjacent samples so sparse
+        // series still read as a line.
+        for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+            const int steps = 24;
+            for (int k = 0; k <= steps; ++k) {
+                const double t =
+                    static_cast<double>(k) / static_cast<double>(steps);
+                plot(s.x[i] + t * (s.x[i + 1] - s.x[i]),
+                     s.y[i] + t * (s.y[i + 1] - s.y[i]), s.glyph);
+            }
+        }
+        if (s.x.size() == 1)
+            plot(s.x[0], s.y[0], s.glyph);
+    }
+
+    if (!ylabel_.empty())
+        os << ylabel_ << '\n';
+    for (std::size_t r = 0; r < height_; ++r) {
+        const double y =
+            ymax - (ymax - ymin) * static_cast<double>(r) /
+                       static_cast<double>(height_ - 1);
+        os << (r % 4 == 0 ? TextTable::num(y, 2) : std::string())
+           << std::string(
+                  r % 4 == 0 ? std::max<std::size_t>(
+                                   10 - TextTable::num(y, 2).size(), 0)
+                             : 10,
+                  ' ')
+           << '|' << grid[r] << '\n';
+    }
+    os << std::string(10, ' ') << '+' << std::string(width_, '-')
+       << '\n';
+    os << std::string(11, ' ') << TextTable::num(xmin, 2)
+       << std::string(width_ > 24 ? width_ - 16 : 1, ' ')
+       << TextTable::num(xmax, 2) << '\n';
+    if (!xlabel_.empty()) {
+        os << std::string(11 + width_ / 2 - xlabel_.size() / 2, ' ')
+           << xlabel_ << '\n';
+    }
+    os << "legend:";
+    for (const auto &s : series_)
+        os << "  [" << s.glyph << "] " << s.label;
+    os << '\n';
+    return os.str();
+}
+
+} // namespace uatm

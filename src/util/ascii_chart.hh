@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal ASCII line-chart renderer.
+ *
+ * The paper's evaluation is figures; the benchmark binaries render
+ * each figure's series both as a table and as a terminal chart so
+ * the shape comparison (who wins, where the crossovers are) can be
+ * eyeballed without external plotting tools.
+ */
+
+#ifndef UATM_UTIL_ASCII_CHART_HH
+#define UATM_UTIL_ASCII_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace uatm {
+
+/**
+ * One plotted series: a label, a glyph, and (x, y) samples.
+ */
+struct ChartSeries
+{
+    std::string label;
+    char glyph = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/**
+ * Renders multiple series on a shared grid with axis annotations.
+ */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width  number of character columns in the plot area
+     * @param height number of character rows in the plot area
+     */
+    AsciiChart(std::size_t width = 68, std::size_t height = 20);
+
+    /** Add a series; x and y must be the same length. */
+    void addSeries(ChartSeries series);
+
+    /** Optional chart caption printed above the grid. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+    void setXLabel(std::string label) { xlabel_ = std::move(label); }
+    void setYLabel(std::string label) { ylabel_ = std::move(label); }
+
+    /** Render the grid, legend and axis ranges. */
+    std::string render() const;
+
+  private:
+    std::size_t width_;
+    std::size_t height_;
+    std::string title_;
+    std::string xlabel_;
+    std::string ylabel_;
+    std::vector<ChartSeries> series_;
+};
+
+} // namespace uatm
+
+#endif // UATM_UTIL_ASCII_CHART_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Implementation of the CSV writer.
+ */
+
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '", path, "'");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        out_ << escape(cells[i]);
+        if (i + 1 < cells.size())
+            out_ << ',';
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells,
+                           int precision)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    char buf[64];
+    for (double v : cells) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        text.emplace_back(buf);
+    }
+    writeRow(text);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace uatm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CSV emission for benchmark series, so figures can be re-plotted
+ * with external tooling.
+ */
+
+#ifndef UATM_UTIL_CSV_HH
+#define UATM_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace uatm {
+
+/**
+ * Streams rows of a CSV file; quoting is applied when a cell
+ * contains a comma, quote, or newline.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row; cells are quoted as needed. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience for purely numeric rows. */
+    void writeNumericRow(const std::vector<double> &cells,
+                         int precision = 6);
+
+    /** Rows written so far, including the header. */
+    std::size_t rowsWritten() const { return rows_; }
+
+    /** Quote a single cell per RFC 4180 when required. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream out_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace uatm
+
+#endif // UATM_UTIL_CSV_HH

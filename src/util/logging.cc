@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Implementation of the status-message helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <mutex>
+
+namespace uatm {
+namespace detail {
+
+namespace {
+
+/// Serializes log lines from concurrent benchmark threads.
+std::mutex logMutex;
+
+} // namespace
+
+void
+emitMessage(std::string_view level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(logMutex);
+    std::fprintf(stderr, "uatm: %.*s: %s\n",
+                 static_cast<int>(level.size()), level.data(),
+                 msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace uatm

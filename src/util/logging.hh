@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a library bug), fatal() is for unusable user input
+ * (bad configuration), warn()/inform() report conditions without
+ * stopping execution.
+ */
+
+#ifndef UATM_UTIL_LOGGING_HH
+#define UATM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace uatm {
+
+namespace detail {
+
+/** Compose the final log line and write it to stderr. */
+void emitMessage(std::string_view level, const std::string &msg);
+
+/** Fold a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+foldMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Call when something happened that should never happen regardless of
+ * what the user does, i.e. a bug in this library.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitMessage("panic", detail::foldMessage(
+        std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with a failure status.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitMessage("fatal", detail::foldMessage(
+        std::forward<Args>(args)...));
+    std::exit(EXIT_FAILURE);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitMessage("warn", detail::foldMessage(
+        std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitMessage("info", detail::foldMessage(
+        std::forward<Args>(args)...));
+}
+
+/**
+ * Check a library invariant; panic with a description when violated.
+ *
+ * Unlike assert(), stays active in release builds: the analytical
+ * model is cheap and correctness of its preconditions is the product.
+ */
+#define UATM_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::uatm::panic("assertion '", #cond, "' failed at ",         \
+                          __FILE__, ":", __LINE__, ": ", __VA_ARGS__);  \
+        }                                                               \
+    } while (0)
+
+} // namespace uatm
+
+#endif // UATM_UTIL_LOGGING_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Implementation of the command-line option parser.
+ */
+
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uatm {
+
+OptionParser::OptionParser(std::string program_name,
+                           std::string description)
+    : programName_(std::move(program_name)),
+      description_(std::move(description))
+{
+}
+
+void
+OptionParser::declare(const std::string &name, Kind kind,
+                      const std::string &def, const std::string &help)
+{
+    UATM_ASSERT(!find(name), "option '", name, "' declared twice");
+    options_.push_back(Option{name, kind, help, def});
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &def,
+                        const std::string &help)
+{
+    declare(name, Kind::String, def, help);
+}
+
+void
+OptionParser::addInt(const std::string &name, std::int64_t def,
+                     const std::string &help)
+{
+    declare(name, Kind::Int, std::to_string(def), help);
+}
+
+void
+OptionParser::addDouble(const std::string &name, double def,
+                        const std::string &help)
+{
+    std::ostringstream os;
+    os << def;
+    declare(name, Kind::Double, os.str(), help);
+}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help)
+{
+    declare(name, Kind::Flag, "0", help);
+}
+
+bool
+OptionParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        Option *opt = find(arg);
+        if (!opt)
+            fatal("unknown option '--", arg, "' (try --help)");
+        if (opt->kind == Kind::Flag) {
+            opt->value = has_value ? value : "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                fatal("option '--", arg, "' needs a value");
+            value = argv[++i];
+        }
+        opt->value = value;
+    }
+    return true;
+}
+
+std::string
+OptionParser::getString(const std::string &name) const
+{
+    return require(name, Kind::String).value;
+}
+
+std::int64_t
+OptionParser::getInt(const std::string &name) const
+{
+    const Option &opt = require(name, Kind::Int);
+    char *end = nullptr;
+    const long long v = std::strtoll(opt.value.c_str(), &end, 10);
+    if (end == opt.value.c_str() || *end != '\0')
+        fatal("option '--", name, "': '", opt.value,
+              "' is not an integer");
+    return v;
+}
+
+double
+OptionParser::getDouble(const std::string &name) const
+{
+    const Option &opt = require(name, Kind::Double);
+    char *end = nullptr;
+    const double v = std::strtod(opt.value.c_str(), &end);
+    if (end == opt.value.c_str() || *end != '\0')
+        fatal("option '--", name, "': '", opt.value,
+              "' is not a number");
+    return v;
+}
+
+bool
+OptionParser::getFlag(const std::string &name) const
+{
+    return require(name, Kind::Flag).value == "1";
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << programName_ << " [options]\n";
+    if (!description_.empty())
+        os << description_ << "\n";
+    os << "\noptions:\n";
+    for (const auto &opt : options_) {
+        os << "  --" << opt.name;
+        if (opt.kind != Kind::Flag)
+            os << " <value>";
+        os << "\n      " << opt.help;
+        if (opt.kind != Kind::Flag)
+            os << " (default: " << opt.value << ")";
+        os << '\n';
+    }
+    return os.str();
+}
+
+OptionParser::Option *
+OptionParser::find(const std::string &name)
+{
+    for (auto &opt : options_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+const OptionParser::Option &
+OptionParser::require(const std::string &name, Kind kind) const
+{
+    for (const auto &opt : options_) {
+        if (opt.name == name) {
+            UATM_ASSERT(opt.kind == kind,
+                        "option '", name, "' accessed with wrong type");
+            return opt;
+        }
+    }
+    panic("option '", name, "' was never declared");
+}
+
+} // namespace uatm

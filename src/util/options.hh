@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tiny command-line option parser for the example binaries.
+ *
+ * Supports "--name value" and "--name=value" long options plus
+ * "--help" generation.  Deliberately minimal: the examples need a
+ * dozen numeric knobs, not a full CLI framework.
+ */
+
+#ifndef UATM_UTIL_OPTIONS_HH
+#define UATM_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uatm {
+
+/**
+ * Declarative option table with typed accessors.
+ */
+class OptionParser
+{
+  public:
+    /** @param program_name used in the --help banner. */
+    explicit OptionParser(std::string program_name,
+                          std::string description = "");
+
+    /** Declare a string-valued option with a default. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare an integer option with a default. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+
+    /** Declare a floating-point option with a default. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (default false; "--name" sets true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv.  On "--help", prints usage and returns false; the
+     * caller should exit successfully.  Unknown options are fatal().
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Flag };
+
+    struct Option
+    {
+        std::string name;
+        Kind kind;
+        std::string help;
+        std::string value; // textual form, parsed on access
+    };
+
+    std::string programName_;
+    std::string description_;
+    std::vector<Option> options_;
+
+    Option *find(const std::string &name);
+    const Option &require(const std::string &name, Kind kind) const;
+    void declare(const std::string &name, Kind kind,
+                 const std::string &def, const std::string &help);
+};
+
+} // namespace uatm
+
+#endif // UATM_UTIL_OPTIONS_HH

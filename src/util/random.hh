@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis.
+ *
+ * Uses xoshiro256** which is fast, has a 256-bit state, and gives
+ * identical streams across platforms, so the synthetic SPEC92-like
+ * traces that replace the paper's real traces are exactly
+ * reproducible from a seed.
+ */
+
+#ifndef UATM_UTIL_RANDOM_HH
+#define UATM_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace uatm {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna).
+ *
+ * Satisfies the C++ UniformRandomBitGenerator requirements so it can
+ * also feed <random> distributions if ever needed, but the member
+ * helpers below are preferred: they are platform-stable.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via SplitMix64 so that any 64-bit seed gives a good state. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound), bound > 0. Unbiased (Lemire). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability p. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish stack-distance sample: returns an index in
+     * [0, n) with P(i) proportional to decay^i.  Used by the
+     * LRU-stack locality model.
+     */
+    std::size_t nextStackDistance(std::size_t n, double decay);
+
+    /** Sample an index according to a discrete weight vector. */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /**
+     * Fork a statistically independent child generator.  Each
+     * synthetic program in a trace mix forks its own stream so
+     * adding programs never perturbs the others.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace uatm
+
+#endif // UATM_UTIL_RANDOM_HH

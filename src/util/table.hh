@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-width text table rendering for the benchmark harness.
+ *
+ * Every table in EXPERIMENTS.md is produced through this class so
+ * that paper-vs-measured rows line up and are diffable run to run.
+ */
+
+#ifndef UATM_UTIL_TABLE_HH
+#define UATM_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace uatm {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"mu_m", "dHR (%)"});
+ *   t.addRow({"2", "3.00"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with a header underline and column gutters. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace uatm
+
+#endif // UATM_UTIL_TABLE_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Edge-case tests for the timing engine: pipelined fills under the
+ * partially-stalling features, write-through traffic, prefetch
+ * interactions with NB, empty/degenerate runs, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+MemoryReference
+load(Addr addr, std::uint32_t gap = 0)
+{
+    return MemoryReference{addr, gap, 4, RefKind::Load};
+}
+
+MemoryReference
+store(Addr addr, std::uint32_t gap = 0)
+{
+    return MemoryReference{addr, gap, 4, RefKind::Store};
+}
+
+CacheConfig
+testCache()
+{
+    CacheConfig config;
+    config.sizeBytes = 256;
+    config.assoc = 2;
+    config.lineBytes = 32;
+    return config;
+}
+
+TimingEngine
+makeEngine(StallFeature feature, Cycles mu_m, bool pipelined,
+           std::uint32_t wbuf, CacheConfig cache = testCache())
+{
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = mu_m;
+    mem.pipelined = pipelined;
+    mem.pipelineInterval = 2;
+    CpuConfig cpu;
+    cpu.feature = feature;
+    return TimingEngine(cache, mem, WriteBufferConfig{wbuf, true},
+                        cpu);
+}
+
+// ------------------------------------------- pipelined + partial stall
+
+TEST(EngineEdge, Bnl3WithPipelinedFills)
+{
+    // Pipelined chunks arrive at mu_m, mu_m+q, ...: a BNL3 access
+    // to chunk 1 waits only q cycles beyond the first chunk.
+    auto engine = makeEngine(StallFeature::BNL3, 8, true, 0);
+    Trace t;
+    t.append(load(0x000)); // chunks at 8, 10, 12, ... 22
+    t.append(load(0x004)); // chunk 1 arrives at 10
+    const auto stats = engine.run(t, 100);
+    // Resume at 8; access at 8 waits until 10; +1 hit cycle.
+    EXPECT_EQ(stats.cycles, 11u);
+}
+
+TEST(EngineEdge, BlWithPipelinedFillsLocksUntilMuP)
+{
+    auto engine = makeEngine(StallFeature::BL, 8, true, 0);
+    Trace t;
+    t.append(load(0x000)); // complete at mu_p = 22
+    t.append(load(0x080)); // bus locked until 22
+    const auto stats = engine.run(t, 100);
+    // Stall 8 -> 22; fill 22..44, resume at first chunk 30.
+    EXPECT_EQ(stats.cycles, 30u);
+}
+
+// --------------------------------------------------- write-through
+
+TEST(EngineEdge, WriteThroughStoresGoToMemorySynchronously)
+{
+    CacheConfig config = testCache();
+    config.write = WritePolicy::WriteThrough;
+    auto engine = makeEngine(StallFeature::FS, 8, false, 0,
+                             config);
+    Trace t;
+    t.append(load(0x000));       // fill: 64
+    t.append(store(0x004, 10));  // hit, but write goes to memory
+    const auto stats = engine.run(t, 100);
+    // 64 + 10 gap + store costs the 8-cycle write (>= 1 base).
+    EXPECT_EQ(stats.cycles, 64u + 10u + 8u);
+    EXPECT_GT(stats.writeStall, 0u);
+}
+
+TEST(EngineEdge, WriteThroughWithBufferCostsOneCycle)
+{
+    CacheConfig config = testCache();
+    config.write = WritePolicy::WriteThrough;
+    auto engine = makeEngine(StallFeature::FS, 8, false, 8,
+                             config);
+    Trace t;
+    t.append(load(0x000));
+    t.append(store(0x004, 10));
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 64u + 10u + 1u);
+}
+
+// ------------------------------------------------------- degenerate
+
+TEST(EngineEdge, EmptyTraceProducesZeroCycles)
+{
+    auto engine = makeEngine(StallFeature::FS, 8, false, 0);
+    Trace t;
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 0u);
+    EXPECT_EQ(stats.instructions, 0u);
+    EXPECT_EQ(stats.meanMemoryDelay(), 0.0);
+    EXPECT_EQ(stats.phi(8), 0.0);
+}
+
+TEST(EngineEdge, MaxRefsZeroRunsNothing)
+{
+    auto engine = makeEngine(StallFeature::FS, 8, false, 0);
+    Trace t;
+    t.append(load(0x000));
+    const auto stats = engine.run(t, 0);
+    EXPECT_EQ(stats.references, 0u);
+}
+
+TEST(EngineEdge, AllHitsCostExactlyE)
+{
+    auto engine = makeEngine(StallFeature::BNL3, 8, false, 8);
+    Trace t;
+    t.append(load(0x000, 0)); // one compulsory miss...
+    for (int i = 1; i < 8; ++i)
+        t.append(load(0x000 + 4 * (i % 8), 200)); // all hits
+    const auto stats = engine.run(t, 100);
+    // After the miss resolves, every later instruction is 1 cycle.
+    const std::uint64_t expected =
+        8u /*first chunk*/ + 7u * 201u;
+    EXPECT_EQ(stats.cycles, expected);
+}
+
+// ------------------------------------------------------ determinism
+
+TEST(EngineEdge, RunsAreDeterministicAndRepeatable)
+{
+    auto run_once = [] {
+        auto engine = makeEngine(StallFeature::BNL2, 10, false, 4);
+        auto workload = Spec92Profile::make("wave5", 33);
+        return engine.run(*workload, 20000).cycles;
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a, b);
+}
+
+TEST(EngineEdge, SecondRunOnSameEngineStartsCold)
+{
+    auto engine = makeEngine(StallFeature::FS, 8, false, 0);
+    Trace t;
+    t.append(load(0x000));
+    const auto first = engine.run(t, 100);
+    const auto second = engine.run(t, 100);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(engine.cacheStats().misses, 1u); // reset happened
+}
+
+// ----------------------------------------------- NB + prefetch combo
+
+TEST(EngineEdge, NbWithPrefetchStaysConsistent)
+{
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig cpu;
+    cpu.feature = StallFeature::NB;
+    cpu.mshrs = 2;
+    cpu.prefetch = PrefetchPolicy::Tagged;
+    TimingEngine engine(testCache(), mem,
+                        WriteBufferConfig{8, true}, cpu);
+
+    StrideGenerator::Config stream;
+    stream.elements = 2048;
+    stream.elemSize = 4;
+    stream.strideBytes = 4;
+    stream.storeFraction = 0.2;
+    StrideGenerator gen(stream, Rng(3));
+    const auto stats = engine.run(gen, 8000);
+    EXPECT_GT(stats.prefetchesIssued, 0u);
+    EXPECT_GT(stats.cycles, stats.instructions / 2);
+    // phi stays within the NB bounds even with prefetch events.
+    EXPECT_LE(stats.phi(8), 8.0 + 1e-9);
+}
+
+// --------------------------------------------- port accounting sanity
+
+TEST(EngineEdge, StallBreakdownNeverExceedsTotal)
+{
+    for (const auto &name : Spec92Profile::names()) {
+        auto engine = makeEngine(StallFeature::BNL1, 12, false, 8);
+        auto workload = Spec92Profile::make(name, 44);
+        const auto stats = engine.run(*workload, 20000);
+        const Cycles stalls =
+            stats.initialMissWait + stats.inflightAccessStall +
+            stats.missSerializationStall + stats.flushStall +
+            stats.writeStall + stats.bufferFullStall;
+        // Stall categories are disjoint contributions to X beyond
+        // the E base (minus the miss instructions' base cycles).
+        EXPECT_LE(stalls, stats.cycles) << name;
+        EXPECT_GE(stats.cycles + stats.fills,
+                  stats.instructions)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace uatm

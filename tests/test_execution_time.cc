@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the execution-time model (Eq. 2) and the mean
+ * memory delay equivalence (Sec. 4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/execution_time.hh"
+
+namespace uatm {
+namespace {
+
+Machine
+baseMachine(double mu_m = 8, double line = 32, double bus = 4)
+{
+    Machine m;
+    m.busWidth = bus;
+    m.lineBytes = line;
+    m.cycleTime = mu_m;
+    return m;
+}
+
+TEST(ExecutionTime, Eq2HandComputed)
+{
+    // E=1000, refs=300, HR=0.9 -> Lambda_m=30, R=30*32=960,
+    // alpha=0.5, D=4, mu_m=8, FS (phi=8):
+    // X = (1000-30) + 30*8*8 + 0.5*960/4*8 + 0 = 970+1920+960.
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.5);
+    const double x = executionTimeFS(w, baseMachine());
+    EXPECT_DOUBLE_EQ(x, 970.0 + 1920.0 + 960.0);
+}
+
+TEST(ExecutionTime, WriteBuffersRemoveFlushTerm)
+{
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.5);
+    ExecutionModelOptions wbuf;
+    wbuf.writeBuffers = true;
+    const double with = executionTimeFS(w, baseMachine(), wbuf);
+    const double without = executionTimeFS(w, baseMachine());
+    EXPECT_DOUBLE_EQ(without - with, 960.0);
+}
+
+TEST(ExecutionTime, WriteAroundTermIsWMuM)
+{
+    Workload w = Workload::fromHitRatioWriteAround(
+        1000, 300, 0.9, 32, 0.0, 0.5);
+    // 30 misses: 15 write-arounds, 15 fills.
+    const double x = executionTimeFS(w, baseMachine());
+    // (1000 - 30) + 15*64 + 0 + 15*8.
+    EXPECT_DOUBLE_EQ(x, 970.0 + 960.0 + 120.0);
+}
+
+TEST(ExecutionTime, PartialStallScalesWithPhi)
+{
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.0);
+    const Machine m = baseMachine();
+    const double fs = executionTime(w, m, 8.0);
+    const double bnl = executionTime(w, m, 2.0);
+    // 30 misses * (8-2) * 8 cycles saved.
+    EXPECT_DOUBLE_EQ(fs - bnl, 30.0 * 6.0 * 8.0);
+}
+
+TEST(ExecutionTime, PipelinedUsesMuP)
+{
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.5);
+    const Machine piped = baseMachine().withPipelining(2);
+    // Per miss: mu_p = 22 for the fill and 0.5*22 for flushes.
+    const double x = executionTimeFS(w, piped);
+    EXPECT_DOUBLE_EQ(x, 970.0 + 30.0 * 22.0 + 15.0 * 22.0);
+}
+
+TEST(ExecutionTime, InstructionFetchTermOptIn)
+{
+    Workload w = Workload::fromHitRatio(1000, 300, 0.9, 32, 0.0);
+    w.instrBytesRead = 320; // 10 I-cache line fills
+    ExecutionModelOptions opts;
+    const double without = executionTimeFS(w, baseMachine(), opts);
+    opts.includeInstructionFetch = true;
+    const double with = executionTimeFS(w, baseMachine(), opts);
+    EXPECT_DOUBLE_EQ(with - without, 10.0 * 64.0);
+}
+
+TEST(ExecutionTime, HigherHitRatioNeverSlower)
+{
+    const Machine m = baseMachine();
+    double previous = 1e18;
+    for (double hr : {0.80, 0.85, 0.90, 0.95, 0.99}) {
+        const Workload w =
+            Workload::fromHitRatio(1e6, 3e5, hr, 32, 0.5);
+        const double x = executionTimeFS(w, m);
+        EXPECT_LT(x, previous);
+        previous = x;
+    }
+}
+
+TEST(MeanMemoryDelay, MatchesDirectComputation)
+{
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.5);
+    const Machine m = baseMachine();
+    const double x = executionTimeFS(w, m);
+    const double expected = (x - 1000.0) / 300.0 + 1.0;
+    EXPECT_DOUBLE_EQ(meanMemoryDelay(w, m, m.lineOverBus()),
+                     expected);
+}
+
+TEST(MeanMemoryDelay, IndependentOfNonMemoryInstructions)
+{
+    // Sec. 4.5: the equivalence (and so the mean memory delay) is
+    // independent of the non-load/store instruction count.
+    const Machine m = baseMachine();
+    const Workload a =
+        Workload::fromHitRatio(1e6, 3e5, 0.9, 32, 0.5);
+    const Workload b =
+        Workload::fromHitRatio(5e6, 3e5, 0.9, 32, 0.5);
+    EXPECT_NEAR(meanMemoryDelay(a, m, 8.0),
+                meanMemoryDelay(b, m, 8.0), 1e-12);
+}
+
+TEST(MeanMemoryDelay, EqualXImpliesEqualDelay)
+{
+    // The core equivalence: two systems with the same E and data
+    // references have equal X iff equal mean memory delay.  The
+    // paper's closed-form HR2 = 2.5 HR - 1.5 holds at L = 2D and
+    // mu_m = 2 (Sec. 4.1).
+    const Machine narrow2 = baseMachine(2, 8, 4);
+    const Machine wide2 = narrow2.withDoubledBus();
+
+    const Workload w1 =
+        Workload::fromHitRatio(1e6, 3e5, 0.95, 8, 0.5);
+    const Workload w2 = Workload::fromHitRatio(
+        1e6, 3e5, 2.5 * 0.95 - 1.5, 8, 0.5);
+
+    const double x1 = executionTimeFS(w1, narrow2);
+    const double x2 = executionTimeFS(w2, wide2);
+    EXPECT_NEAR(x1, x2, x1 * 1e-12);
+
+    const double d1 =
+        meanMemoryDelay(w1, narrow2, narrow2.lineOverBus());
+    const double d2 =
+        meanMemoryDelay(w2, wide2, wide2.lineOverBus());
+    EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+TEST(ExecutionTime, RejectsNegativePhi)
+{
+    const Workload w =
+        Workload::fromHitRatio(1000, 300, 0.9, 32, 0.5);
+    EXPECT_DEATH(
+        { executionTime(w, baseMachine(), -1.0); },
+        "non-negative");
+}
+
+} // namespace
+} // namespace uatm

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the instruction-fetch stream (Sec. 3.4): locality of
+ * the fetch stream, interleaving correctness, and the paper's
+ * claim that the execution-time model keeps its form when the
+ * instruction-fetch term is added.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "core/execution_time.hh"
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+#include "trace/ifetch.hh"
+
+namespace uatm {
+namespace {
+
+// ------------------------------------------------------ IFetchGenerator
+
+TEST(IFetch, EmitsOnlyInstructionFetches)
+{
+    IFetchGenerator gen(IFetchConfig{}, Rng(1));
+    for (int i = 0; i < 1000; ++i) {
+        const auto ref = gen.next();
+        ASSERT_TRUE(ref.has_value());
+        EXPECT_EQ(ref->kind, RefKind::IFetch);
+        EXPECT_EQ(ref->gap, 0u);
+        EXPECT_EQ(ref->size, 4u);
+    }
+}
+
+TEST(IFetch, SequentialRunsAdvanceByFetchSize)
+{
+    IFetchConfig config;
+    config.meanRunLength = 1000; // effectively no branches early
+    IFetchGenerator gen(config, Rng(2));
+    Addr previous = gen.next()->addr;
+    for (int i = 0; i < 50; ++i) {
+        const Addr addr = gen.next()->addr;
+        EXPECT_EQ(addr, previous + 4);
+        previous = addr;
+    }
+}
+
+TEST(IFetch, HighLoopBackGivesHighCacheHitRatio)
+{
+    // The common case of Sec. 3.4: instruction hit ratio "usually
+    // very high".
+    IFetchConfig config;
+    config.loopBackProbability = 0.99;
+    IFetchGenerator gen(config, Rng(3));
+
+    CacheConfig icache;
+    icache.sizeBytes = 8 * 1024;
+    icache.assoc = 2;
+    icache.lineBytes = 32;
+    SetAssocCache cache(icache);
+    for (int i = 0; i < 40000; ++i)
+        cache.access(*gen.next());
+    EXPECT_GT(cache.stats().hitRatio(), 0.97);
+}
+
+TEST(IFetch, LowLoopBackModelsMultiprogramming)
+{
+    // The multiprogramming case: a higher instruction miss ratio.
+    auto hit_ratio = [](double loop_back) {
+        IFetchConfig config;
+        config.loopBackProbability = loop_back;
+        IFetchGenerator gen(config, Rng(4));
+        CacheConfig icache;
+        icache.sizeBytes = 8 * 1024;
+        icache.assoc = 2;
+        icache.lineBytes = 32;
+        SetAssocCache cache(icache);
+        for (int i = 0; i < 40000; ++i)
+            cache.access(*gen.next());
+        return cache.stats().hitRatio();
+    };
+    EXPECT_LT(hit_ratio(0.7), hit_ratio(0.99));
+}
+
+TEST(IFetch, ResetReplays)
+{
+    IFetchGenerator gen(IFetchConfig{}, Rng(5));
+    const auto first = gen.drain(500);
+    gen.reset();
+    EXPECT_EQ(gen.drain(500), first);
+}
+
+// ----------------------------------------------------- IFetchInterleaver
+
+TEST(Interleaver, OneFetchPerInstruction)
+{
+    // A data trace with gap=2 must yield 3 fetches then the data
+    // record: F F F D.
+    auto data = std::make_unique<Trace>();
+    data->append(MemoryReference{0x100, 2, 4, RefKind::Load});
+    data->append(MemoryReference{0x200, 0, 4, RefKind::Store});
+
+    IFetchInterleaver mix(std::move(data), IFetchConfig{}, Rng(6));
+    const auto refs = mix.drain(100);
+    ASSERT_EQ(refs.size(), 6u); // 3 + D + 1 + D
+    EXPECT_EQ(refs[0].kind, RefKind::IFetch);
+    EXPECT_EQ(refs[1].kind, RefKind::IFetch);
+    EXPECT_EQ(refs[2].kind, RefKind::IFetch);
+    EXPECT_EQ(refs[3].kind, RefKind::Load);
+    EXPECT_EQ(refs[3].addr, 0x100u);
+    EXPECT_EQ(refs[4].kind, RefKind::IFetch);
+    EXPECT_EQ(refs[5].kind, RefKind::Store);
+}
+
+TEST(Interleaver, DataRecordsKeepOrderAndLoseGaps)
+{
+    auto data = std::make_unique<Trace>();
+    for (int i = 0; i < 20; ++i)
+        data->append(MemoryReference{
+            static_cast<Addr>(0x1000 + 4 * i),
+            static_cast<std::uint32_t>(i % 3), 4, RefKind::Load});
+
+    IFetchInterleaver mix(std::move(data), IFetchConfig{}, Rng(7));
+    std::vector<Addr> data_addrs;
+    while (auto ref = mix.next()) {
+        if (ref->kind != RefKind::IFetch) {
+            EXPECT_EQ(ref->gap, 0u);
+            data_addrs.push_back(ref->addr);
+        }
+    }
+    ASSERT_EQ(data_addrs.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(data_addrs[i], 0x1000u + 4 * i);
+}
+
+TEST(Interleaver, InstructionCountMatchesGaps)
+{
+    // Total fetches == sum(gap + 1) of the data trace == E.
+    auto data = std::make_unique<Trace>();
+    std::uint64_t expected = 0;
+    for (int i = 0; i < 50; ++i) {
+        const std::uint32_t gap = (7 * i) % 5;
+        expected += gap + 1;
+        data->append(MemoryReference{
+            static_cast<Addr>(0x2000 + 8 * i), gap, 4,
+            RefKind::Load});
+    }
+    IFetchInterleaver mix(std::move(data), IFetchConfig{}, Rng(8));
+    std::uint64_t fetches = 0;
+    while (auto ref = mix.next())
+        fetches += ref->kind == RefKind::IFetch;
+    EXPECT_EQ(fetches, expected);
+}
+
+TEST(Interleaver, ResetReplays)
+{
+    auto make = [] {
+        WorkingSetGenerator::Config ws;
+        return std::make_unique<WorkingSetGenerator>(ws, Rng(9));
+    };
+    IFetchInterleaver mix(make(), IFetchConfig{}, Rng(10));
+    const auto first = mix.drain(300);
+    mix.reset();
+    EXPECT_EQ(mix.drain(300), first);
+}
+
+// --------------------------------------- Sec. 3.4 model-form validation
+
+TEST(IFetchModel, InstructionTermKeepsTheModelForm)
+{
+    // Measure R_I by running the fetch stream through an I-cache,
+    // then check the analytic X with includeInstructionFetch
+    // equals the base X plus (R_I/L)(L/D) mu_m — the same form as
+    // the data terms (Sec. 3.4's claim).
+    IFetchConfig config;
+    config.loopBackProbability = 0.9;
+    IFetchGenerator gen(config, Rng(11));
+    CacheConfig icache;
+    icache.sizeBytes = 4 * 1024;
+    icache.assoc = 2;
+    icache.lineBytes = 32;
+    SetAssocCache cache(icache);
+    for (int i = 0; i < 50000; ++i)
+        cache.access(*gen.next());
+    const double r_i =
+        static_cast<double>(cache.stats().bytesRead(32));
+
+    Workload w = Workload::fromHitRatio(5e4, 1.5e4, 0.93, 32, 0.5);
+    w.instrBytesRead = r_i;
+    Machine m;
+    m.busWidth = 4;
+    m.lineBytes = 32;
+    m.cycleTime = 8;
+
+    ExecutionModelOptions with;
+    with.includeInstructionFetch = true;
+    const double x_with = executionTimeFS(w, m, with);
+    const double x_without = executionTimeFS(w, m);
+    EXPECT_NEAR(x_with - x_without, r_i / 32.0 * 8.0 * 8.0,
+                1e-6);
+}
+
+TEST(IFetchModel, UnifiedCacheKeepsEq2Exactness)
+{
+    // Sec. 4.5: "the tradeoff model can also be applied to an
+    // instruction cache or a unified cache."  Run a combined
+    // IFetch+data stream through the engine with a unified cache
+    // (fetches time like loads) and check the FS/no-buffer run
+    // still matches Eq. 2 exactly.
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 200;
+    ws.decay = 0.98;
+    ws.coldFraction = 0.01;
+    ws.storeFraction = 0.3;
+    auto data = std::make_unique<WorkingSetGenerator>(ws, Rng(21));
+
+    IFetchConfig flow;
+    flow.loopBackProbability = 0.97;
+    IFetchInterleaver unified(std::move(data), flow, Rng(22));
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig cpu;
+    cpu.feature = StallFeature::FS;
+
+    TimingEngine engine(cache, mem, WriteBufferConfig{0, true},
+                        cpu);
+    const auto stats = engine.run(unified, 60000);
+    const auto &cs = engine.cacheStats();
+
+    const std::uint64_t expected =
+        (cs.instructions - cs.fills) + cs.fills * 8 * 8 +
+        cs.writebacks * 8 * 8;
+    EXPECT_EQ(stats.cycles, expected);
+    // The combined stream really contains both kinds.
+    EXPECT_GT(cs.stores, 0u);
+    EXPECT_GT(cs.loads, cs.stores); // fetches count as reads
+}
+
+} // namespace
+} // namespace uatm

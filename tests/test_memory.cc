@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the memory timing model (incl. Eq. 9 pipelining)
+ * and the write-buffer scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/timing.hh"
+#include "memory/write_buffer.hh"
+
+namespace uatm {
+namespace {
+
+MemoryConfig
+basicConfig(Cycles mu_m = 8, bool pipelined = false, Cycles q = 2)
+{
+    MemoryConfig config;
+    config.busWidthBytes = 4;
+    config.cycleTime = mu_m;
+    config.pipelined = pipelined;
+    config.pipelineInterval = q;
+    return config;
+}
+
+// --------------------------------------------------------- MemoryConfig
+
+TEST(MemoryConfig, RejectsBadWidth)
+{
+    MemoryConfig config;
+    config.busWidthBytes = 6;
+    EXPECT_EXIT(config.validate(),
+                ::testing::ExitedWithCode(EXIT_FAILURE), "width");
+}
+
+TEST(MemoryConfig, RejectsQAboveMuM)
+{
+    MemoryConfig config = basicConfig(2, true, 3);
+    EXPECT_EXIT(config.validate(),
+                ::testing::ExitedWithCode(EXIT_FAILURE), "interval");
+}
+
+TEST(MemoryConfig, DescribeShowsPipeline)
+{
+    EXPECT_NE(basicConfig(8, true).describe().find("pipelined"),
+              std::string::npos);
+    EXPECT_EQ(basicConfig(8, false).describe().find("pipelined"),
+              std::string::npos);
+}
+
+// --------------------------------------------------------- MemoryTiming
+
+TEST(MemoryTiming, ChunksPerLine)
+{
+    MemoryTiming t(basicConfig());
+    EXPECT_EQ(t.chunksPerLine(32), 8u);
+    EXPECT_EQ(t.chunksPerLine(4), 1u);
+    EXPECT_EQ(t.chunksPerLine(2), 1u); // sub-bus transfer
+}
+
+TEST(MemoryTiming, NonPipelinedLineTime)
+{
+    MemoryTiming t(basicConfig(8));
+    // (L/D) * mu_m = 8 * 8.
+    EXPECT_EQ(t.lineTransferTime(32), 64u);
+    EXPECT_EQ(t.singleTransferTime(), 8u);
+}
+
+TEST(MemoryTiming, PipelinedLineTimeMatchesEq9)
+{
+    MemoryTiming t(basicConfig(8, true, 2));
+    // mu_p = mu_m + q (L/D - 1) = 8 + 2*7 = 22.
+    EXPECT_EQ(t.lineTransferTime(32), 22u);
+}
+
+TEST(MemoryTiming, PipelinedDegeneratesWhenLineEqualsBus)
+{
+    // Eq. 9 note: with L = D, pipelined == non-pipelined.
+    MemoryTiming piped(basicConfig(8, true, 2));
+    MemoryTiming plain(basicConfig(8, false));
+    EXPECT_EQ(piped.lineTransferTime(4), plain.lineTransferTime(4));
+}
+
+TEST(MemoryTiming, NonPipelinedChunkTimes)
+{
+    MemoryTiming t(basicConfig(10));
+    const auto times = t.chunkCompletionTimes(100, 16);
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_EQ(times[0], 110u);
+    EXPECT_EQ(times[1], 120u);
+    EXPECT_EQ(times[3], 140u);
+}
+
+TEST(MemoryTiming, PipelinedChunkTimes)
+{
+    MemoryTiming t(basicConfig(10, true, 2));
+    const auto times = t.chunkCompletionTimes(100, 16);
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_EQ(times[0], 110u);
+    EXPECT_EQ(times[1], 112u);
+    EXPECT_EQ(times[3], 116u);
+    // Last chunk = start + mu_p.
+    EXPECT_EQ(times[3], 100u + t.lineTransferTime(16));
+}
+
+// ----------------------------------------------------- MemoryScheduler
+
+TEST(Scheduler, SynchronousWriteOccupiesPort)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{0, true});
+    // Full-line write: 8 chunks * 8 cycles.
+    EXPECT_EQ(sched.postWrite(10, 32), 74u);
+    EXPECT_EQ(sched.busyUntil(), 74u);
+}
+
+TEST(Scheduler, SynchronousWordWriteTakesOneCycleTime)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{0, true});
+    EXPECT_EQ(sched.postWrite(0, 4), 8u);
+}
+
+TEST(Scheduler, ReadAfterSyncWriteWaits)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{0, true});
+    sched.postWrite(0, 32); // busy until 64
+    const ReadGrant grant = sched.requestRead(10, 32);
+    EXPECT_EQ(grant.start, 64u);
+    EXPECT_EQ(grant.busWait, 54u);
+    EXPECT_EQ(sched.readWaitCycles(), 54u);
+}
+
+TEST(Scheduler, BufferedWriteReturnsImmediately)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, true});
+    EXPECT_EQ(sched.postWrite(10, 32), 10u);
+    EXPECT_EQ(sched.pendingWrites(), 1u);
+}
+
+TEST(Scheduler, ReadBypassesQueuedWrites)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, true});
+    sched.postWrite(10, 32);
+    // Read arrives at the same instant: it wins the port.
+    const ReadGrant grant = sched.requestRead(10, 32);
+    EXPECT_EQ(grant.start, 10u);
+    EXPECT_EQ(grant.busWait, 0u);
+    EXPECT_EQ(sched.pendingWrites(), 1u); // write still parked
+}
+
+TEST(Scheduler, ReadWaitsOnlyForTheChunkOnTheBus)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, true});
+    sched.postWrite(0, 32); // first chunk occupies cycles 0..8
+    // A read at 5 waits for the chunk boundary at 8, then jumps
+    // ahead of the remaining seven queued chunks.
+    const ReadGrant grant = sched.requestRead(5, 32);
+    EXPECT_EQ(grant.start, 8u);
+    EXPECT_EQ(grant.busWait, 3u);
+    EXPECT_EQ(sched.pendingWrites(), 1u); // 7 chunks still parked
+}
+
+TEST(Scheduler, NonBypassingReadDrainsQueue)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, false});
+    sched.postWrite(10, 32);
+    sched.postWrite(10, 32);
+    const ReadGrant grant = sched.requestRead(10, 32);
+    // Both 64-cycle writes retire first.
+    EXPECT_EQ(grant.start, 10u + 64u + 64u);
+}
+
+TEST(Scheduler, FullBufferStallsUntilSlotFrees)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{1, true});
+    EXPECT_EQ(sched.postWrite(0, 32), 0u);
+    // Queue holds one entry; the second post must wait for the
+    // first write to retire (starts at 0, 64 cycles).
+    const Cycles resume = sched.postWrite(0, 32);
+    EXPECT_EQ(resume, 64u);
+    EXPECT_EQ(sched.bufferFullEvents(), 1u);
+}
+
+TEST(Scheduler, DrainToRetiresIdleWrites)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, true});
+    sched.postWrite(0, 4); // 8 cycles, can run 0..8
+    sched.drainTo(100);
+    EXPECT_EQ(sched.pendingWrites(), 0u);
+    EXPECT_EQ(sched.busyUntil(), 8u);
+}
+
+TEST(Scheduler, DrainAllAfterReportsCompletion)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{8, true});
+    sched.postWrite(0, 32);
+    sched.postWrite(0, 32);
+    EXPECT_EQ(sched.drainAllAfter(0), 128u);
+    EXPECT_EQ(sched.pendingWrites(), 0u);
+}
+
+TEST(Scheduler, ResetClearsState)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{4, true});
+    sched.postWrite(0, 32);
+    sched.requestRead(0, 32);
+    sched.reset();
+    EXPECT_EQ(sched.pendingWrites(), 0u);
+    EXPECT_EQ(sched.busyUntil(), 0u);
+    EXPECT_EQ(sched.readWaitCycles(), 0u);
+}
+
+TEST(Scheduler, BackToBackReadsSerialize)
+{
+    MemoryTiming t(basicConfig(8));
+    MemoryScheduler sched(t, WriteBufferConfig{0, true});
+    const auto first = sched.requestRead(0, 32);
+    EXPECT_EQ(first.start, 0u);
+    const auto second = sched.requestRead(10, 32);
+    EXPECT_EQ(second.start, 64u);
+}
+
+} // namespace
+} // namespace uatm

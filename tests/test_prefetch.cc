@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for hardware prefetching (paper Sec. 3.3's latency-hiding
+ * remark; Sec. 2's Chen & Baer comparison): functional insertion,
+ * timing semantics, usefulness accounting, and the headline
+ * comparisons (prefetch beats NB on sequential streams; R shrinks
+ * to the non-hidden references).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+MemoryReference
+load(Addr addr, std::uint32_t gap = 0)
+{
+    return MemoryReference{addr, gap, 4, RefKind::Load};
+}
+
+CacheConfig
+testCache()
+{
+    CacheConfig config;
+    config.sizeBytes = 256;
+    config.assoc = 2;
+    config.lineBytes = 32;
+    return config;
+}
+
+TimingEngine
+makeEngine(StallFeature feature, PrefetchPolicy prefetch,
+           Cycles mu_m = 8,
+           CacheConfig cache_config = testCache())
+{
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = mu_m;
+    CpuConfig cpu;
+    cpu.feature = feature;
+    cpu.prefetch = prefetch;
+    return TimingEngine(cache_config, mem,
+                        WriteBufferConfig{8, true}, cpu);
+}
+
+// ------------------------------------------------- functional layer
+
+TEST(PrefetchCache, InsertsAbsentLine)
+{
+    SetAssocCache cache(testCache());
+    const auto out = cache.prefetchLine(0x104);
+    EXPECT_TRUE(out.inserted);
+    EXPECT_TRUE(cache.probe(0x100));
+    EXPECT_EQ(cache.stats().prefetchInserts, 1u);
+    EXPECT_EQ(cache.stats().fills, 0u); // not a demand fill
+}
+
+TEST(PrefetchCache, ResidentLineIsNoOp)
+{
+    SetAssocCache cache(testCache());
+    cache.access(load(0x100));
+    const auto out = cache.prefetchLine(0x100);
+    EXPECT_FALSE(out.inserted);
+    EXPECT_EQ(cache.stats().prefetchInserts, 0u);
+}
+
+TEST(PrefetchCache, DirtyVictimIsFlushed)
+{
+    SetAssocCache cache(testCache());
+    cache.access(MemoryReference{0x000, 0, 4, RefKind::Store});
+    cache.access(load(0x080)); // fills the other way of set 0
+    const auto out = cache.prefetchLine(0x100); // set 0 again
+    EXPECT_TRUE(out.inserted);
+    EXPECT_TRUE(out.writeback);
+    EXPECT_EQ(out.victimLineAddr, 0x000u);
+}
+
+TEST(PrefetchCache, DemandHitAfterPrefetch)
+{
+    SetAssocCache cache(testCache());
+    cache.prefetchLine(0x200);
+    EXPECT_TRUE(cache.access(load(0x204)).hit);
+}
+
+// ---------------------------------------------------- timing layer
+
+TEST(PrefetchTiming, NextLineArrivesBeforeDemand)
+{
+    // Miss on line 0; prefetch of line 1 starts when the port
+    // frees; a much later access to line 1 hits with no stall.
+    auto engine = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::OnMiss);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x020, 200)); // far beyond both transfers
+    const auto stats = engine.run(t, 100);
+    // 64 (demand) + 200 gap + 1 hit cycle.
+    EXPECT_EQ(stats.cycles, 64u + 200u + 1u);
+    EXPECT_EQ(stats.fills, 1u);
+    EXPECT_EQ(stats.prefetchesIssued, 1u);
+    EXPECT_EQ(stats.prefetchesUseful, 1u);
+}
+
+TEST(PrefetchTiming, LateDemandWaitsOnlyForItsChunk)
+{
+    auto engine = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::OnMiss);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x020)); // immediately after the miss resolves
+    const auto stats = engine.run(t, 100);
+    // Demand fill 0..64; prefetch transfer 64..128, chunk 0 of
+    // line 1 arrives at 72.  The access issues at 64 and waits 8.
+    EXPECT_EQ(stats.cycles, 73u);
+    EXPECT_EQ(stats.prefetchesLate, 1u);
+    EXPECT_EQ(stats.inflightAccessStall, 8u);
+}
+
+TEST(PrefetchTiming, UselessPrefetchOnlyCostsBandwidth)
+{
+    // The prefetched line is never touched; a later unrelated
+    // demand miss waits for the port to free.
+    auto engine = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::OnMiss);
+    Trace t;
+    t.append(load(0x000)); // + prefetch of 0x020 (64..128)
+    t.append(load(0x200)); // misses at 64; port busy until 128
+    const auto stats = engine.run(t, 100);
+    // Port contention delays the second fill to 128..192; note
+    // the second miss also queues a prefetch but the CPU resumed
+    // at 192 already.
+    EXPECT_EQ(stats.cycles, 192u);
+    EXPECT_GE(stats.portContentionWait, 64u);
+    EXPECT_EQ(stats.prefetchesUseful, 0u);
+}
+
+TEST(PrefetchTiming, TaggedChainsOnFirstHit)
+{
+    auto engine = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::Tagged);
+    Trace t;
+    t.append(load(0x000));      // miss; prefetch 0x020
+    t.append(load(0x020, 300)); // useful hit; prefetch 0x040
+    t.append(load(0x040, 300)); // useful hit; prefetch 0x060
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.prefetchesIssued, 3u);
+    EXPECT_EQ(stats.prefetchesUseful, 2u);
+    EXPECT_EQ(stats.fills, 1u); // only the first access misses
+}
+
+TEST(PrefetchTiming, OnMissDoesNotChainOnHits)
+{
+    auto engine = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::OnMiss);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x020, 300)); // hit on the prefetched line
+    t.append(load(0x040, 300)); // miss (no chain)
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.fills, 2u);
+    EXPECT_EQ(stats.prefetchesIssued, 2u);
+}
+
+TEST(PrefetchTiming, PrefetchDoesNotLockTheBLBus)
+{
+    // Under BL, an in-flight *prefetch* must not stall unrelated
+    // accesses the way a demand fill does.
+    auto engine = makeEngine(StallFeature::BL,
+                             PrefetchPolicy::OnMiss);
+    Trace t;
+    t.append(load(0x000));       // miss: resume at 8, fill to 64
+    t.append(load(0x200, 100));  // at 108: demand fill long done,
+                                 // prefetch (64..128) done too
+    t.append(load(0x204, 100));  // plain hit
+    const auto stats = engine.run(t, 100);
+    // 8 + 100 -> miss at 108 (port free at 128? no: prefetch ran
+    // 64..128, so grant at 128, resume 136)... the BL lock from
+    // the prefetch must NOT apply: only port timing matters.
+    EXPECT_EQ(stats.inflightAccessStall, 0u);
+    EXPECT_EQ(stats.prefetchesIssued, 2u);
+}
+
+// ------------------------------------------------ workload effects
+
+TEST(PrefetchWorkload, SequentialStreamMissesCollapse)
+{
+    // On a unit-stride stream, tagged prefetch hides almost every
+    // line fetch: R shrinks to the non-hidden references
+    // (Sec. 3.3's reading of R).
+    StrideGenerator::Config stream;
+    stream.elements = 1 << 14;
+    stream.elemSize = 4;
+    stream.strideBytes = 4;
+    stream.storeFraction = 0.0;
+    stream.gap = {2, 4};
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+
+    StrideGenerator gen(stream, Rng(3));
+    auto none = makeEngine(StallFeature::FS, PrefetchPolicy::None,
+                           8, cache);
+    const auto x_none = none.run(gen, 20000);
+    auto tagged = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::Tagged, 8, cache);
+    const auto x_tagged = tagged.run(gen, 20000);
+
+    // Demand fills collapse by at least 5x...
+    EXPECT_LT(x_tagged.fills * 5, x_none.fills);
+    // ...and execution time improves substantially.
+    EXPECT_LT(x_tagged.cycles, x_none.cycles * 3 / 4);
+    // Prefetches are overwhelmingly useful on this stream.
+    EXPECT_GT(static_cast<double>(x_tagged.prefetchesUseful),
+              0.9 * static_cast<double>(
+                        x_tagged.prefetchesIssued));
+}
+
+TEST(PrefetchWorkload, PrefetchBeatsNonBlockingOnSequential)
+{
+    // Sec. 2 cites Chen & Baer: prefetching caches often beat
+    // non-blocking caches.  Reproduce on a sequential stream:
+    // FS + tagged prefetch < NB without prefetch.
+    StrideGenerator::Config stream;
+    stream.elements = 1 << 14;
+    stream.elemSize = 4;
+    stream.strideBytes = 4;
+    stream.storeFraction = 0.0;
+    stream.gap = {2, 4};
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+
+    StrideGenerator gen(stream, Rng(5));
+    auto prefetching = makeEngine(
+        StallFeature::FS, PrefetchPolicy::Tagged, 8, cache);
+    const auto x_pref = prefetching.run(gen, 20000);
+
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig nb_cpu;
+    nb_cpu.feature = StallFeature::NB;
+    nb_cpu.mshrs = 2;
+    TimingEngine nb(cache, mem, WriteBufferConfig{8, true},
+                    nb_cpu);
+    const auto x_nb = nb.run(gen, 20000);
+
+    EXPECT_LT(x_pref.cycles, x_nb.cycles);
+}
+
+TEST(PrefetchWorkload, RandomTrafficGainsLittle)
+{
+    // Pointer-chase traffic defeats next-line prefetching; the
+    // policy should not catastrophically hurt either (port waits
+    // bounded by one line transfer per miss).
+    PointerChaseGenerator::Config chase;
+    chase.nodes = 1 << 12;
+    chase.nodeSize = 64;
+    chase.accessSize = 8;
+    chase.fieldsPerVisit = 1;
+    chase.gap = {2, 4};
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+
+    PointerChaseGenerator gen(chase, Rng(7));
+    auto none = makeEngine(StallFeature::FS, PrefetchPolicy::None,
+                           8, cache);
+    const auto x_none = none.run(gen, 15000);
+    auto tagged = makeEngine(StallFeature::FS,
+                             PrefetchPolicy::Tagged, 8, cache);
+    const auto x_tagged = tagged.run(gen, 15000);
+
+    const double ratio = static_cast<double>(x_tagged.cycles) /
+                         static_cast<double>(x_none.cycles);
+    EXPECT_GT(ratio, 0.8); // no miracle
+    // Without prefetch abandonment every useless transfer can
+    // delay the next demand fill by up to one line time, so the
+    // worst case is ~2x — the classic naive-prefetch pathology.
+    EXPECT_LT(ratio, 2.05);
+}
+
+TEST(PrefetchTiming, PhiPoolExcludesPrefetchTransfers)
+{
+    // The prefetch transfer itself never enters the phi pool; only
+    // demand-visible stalls do, so phi stays within Table 2's
+    // bounds with prefetching enabled.
+    StrideGenerator::Config stream;
+    stream.elements = 4096;
+    stream.elemSize = 4;
+    stream.strideBytes = 4;
+    stream.storeFraction = 0.0;
+    StrideGenerator gen(stream, Rng(9));
+
+    CacheConfig cache;
+    cache.sizeBytes = 8 * 1024;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+    auto engine = makeEngine(StallFeature::BNL3,
+                             PrefetchPolicy::Tagged, 8, cache);
+    const auto stats = engine.run(gen, 10000);
+    if (stats.fills > 0) {
+        EXPECT_GE(stats.phi(8), 0.0);
+        EXPECT_LE(stats.phi(8), 8.0 + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace uatm

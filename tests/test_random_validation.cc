@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Randomized cross-validation: draw random machine geometries,
+ * workload shapes and policies from the full supported space and
+ * check the load-bearing identities on every draw —
+ *
+ *  1. engine == Eq. 2 exactly (FS, no buffer), any geometry;
+ *  2. Eq. 6 equivalence holds for random feature pairs;
+ *  3. Eq. 19 == Smith on random tables and delay models;
+ *  4. hit/miss bookkeeping closes on random traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/execution_time.hh"
+#include "core/tradeoff.hh"
+#include "cpu/timing_engine.hh"
+#include "linesize/line_tradeoff.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+class RandomValidation
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Rng rng_{GetParam() * 0x9e3779b97f4a7c15ull + 1};
+
+    CacheConfig
+    randomCache()
+    {
+        CacheConfig config;
+        const std::uint64_t size_pow =
+            10 + rng_.nextBelow(7); // 1K .. 64K
+        config.sizeBytes = 1ull << size_pow;
+        config.assoc = 1u << rng_.nextBelow(3); // 1, 2, 4
+        const std::uint32_t line_pow =
+            3 + static_cast<std::uint32_t>(
+                    rng_.nextBelow(4)); // 8..64
+        config.lineBytes = 1u << line_pow;
+        // Keep at least two sets.
+        while (config.numSets() < 2)
+            config.sizeBytes *= 2;
+        return config;
+    }
+
+    MemoryConfig
+    randomMemory(std::uint32_t line_bytes)
+    {
+        MemoryConfig mem;
+        const std::uint32_t widths[] = {4, 8, 16, 32};
+        do {
+            mem.busWidthBytes =
+                widths[rng_.nextBelow(4)];
+        } while (mem.busWidthBytes > line_bytes);
+        mem.cycleTime = 2 + rng_.nextBelow(30);
+        return mem;
+    }
+
+    WorkingSetGenerator::Config
+    randomWorkload()
+    {
+        WorkingSetGenerator::Config ws;
+        ws.stackDepth = 16 + rng_.nextBelow(600);
+        ws.decay = 0.9 + rng_.nextDouble() * 0.09;
+        ws.coldFraction = rng_.nextDouble() * 0.08;
+        ws.storeFraction = rng_.nextDouble() * 0.5;
+        ws.accessSize = rng_.nextBool(0.5) ? 4 : 8;
+        return ws;
+    }
+};
+
+TEST_P(RandomValidation, EngineMatchesEq2OnRandomGeometry)
+{
+    const CacheConfig cache = randomCache();
+    const MemoryConfig mem = randomMemory(cache.lineBytes);
+    CpuConfig cpu;
+    cpu.feature = StallFeature::FS;
+    TimingEngine engine(cache, mem, WriteBufferConfig{0, true},
+                        cpu);
+    WorkingSetGenerator gen(randomWorkload(), rng_.fork());
+    const auto stats = engine.run(gen, 8000);
+    const auto &cs = engine.cacheStats();
+
+    const std::uint64_t chunks =
+        cache.lineBytes / mem.busWidthBytes;
+    // Write-allocate: no W term; 8-byte stores may exceed narrow
+    // buses only via the flush/fill paths which are line-sized.
+    const std::uint64_t expected =
+        (cs.instructions - cs.fills) +
+        cs.fills * chunks * mem.cycleTime +
+        cs.writebacks * chunks * mem.cycleTime;
+    EXPECT_EQ(stats.cycles, expected)
+        << cache.describe() << " | " << mem.describe();
+}
+
+TEST_P(RandomValidation, Eq6EquivalenceOnRandomOperatingPoints)
+{
+    TradeoffContext ctx;
+    const double line_pow = 3 + rng_.nextBelow(4);
+    ctx.machine.lineBytes = std::exp2(line_pow);
+    ctx.machine.busWidth = 4;
+    if (ctx.machine.lineBytes < 8)
+        ctx.machine.lineBytes = 8;
+    ctx.machine.cycleTime = 2.0 + rng_.nextDouble() * 30.0;
+    ctx.alpha = rng_.nextDouble();
+
+    const double hr = 0.85 + rng_.nextDouble() * 0.14;
+    const double r = missFactorDoubleBus(ctx);
+    const double hr2 = equivalentHitRatio(r, hr);
+
+    const Workload w1 = Workload::fromHitRatio(
+        1e6, 2e5, hr, ctx.machine.lineBytes, ctx.alpha);
+    const Workload w2 = Workload::fromHitRatio(
+        1e6, 2e5, hr2, ctx.machine.lineBytes, ctx.alpha);
+    const double x1 = executionTimeFS(w1, ctx.machine);
+    const double x2 =
+        executionTimeFS(w2, ctx.machine.withDoubledBus());
+    EXPECT_NEAR(x1, x2, x1 * 1e-9);
+}
+
+TEST_P(RandomValidation, SmithAgreementOnRandomModels)
+{
+    std::vector<LinePoint> points;
+    double mr = 0.02 + rng_.nextDouble() * 0.2;
+    for (std::uint32_t line : {8u, 16u, 32u, 64u, 128u}) {
+        points.push_back(LinePoint{line, mr});
+        mr *= 0.4 + rng_.nextDouble() * 0.55;
+    }
+    const MissRatioTable table("random", points);
+    LineDelayModel model;
+    model.c = 1.5 + rng_.nextDouble() * 25.0;
+    model.beta = 0.25 + rng_.nextDouble() * 10.0;
+    model.busWidth = rng_.nextBool(0.5) ? 4.0 : 8.0;
+
+    const auto ours = tradeoffOptimalLine(table, model, 8);
+    const auto smiths = smithOptimalLine(table, model);
+    EXPECT_NEAR(
+        model.smithObjective(table.missRatio(ours), ours),
+        model.smithObjective(table.missRatio(smiths), smiths),
+        1e-9);
+}
+
+TEST_P(RandomValidation, BookkeepingClosesOnRandomTraces)
+{
+    const CacheConfig config = randomCache();
+    SetAssocCache cache(config);
+    Rng addr_rng = rng_.fork();
+    std::uint64_t expected_instr = 0;
+    const int refs = 5000;
+    for (int i = 0; i < refs; ++i) {
+        MemoryReference ref;
+        ref.addr = addr_rng.nextBelow(1u << 22);
+        ref.size = 4;
+        ref.addr = alignDown(ref.addr, ref.size);
+        ref.gap = static_cast<std::uint32_t>(
+            addr_rng.nextBelow(6));
+        ref.kind = addr_rng.nextBool(0.3) ? RefKind::Store
+                                          : RefKind::Load;
+        expected_instr +=
+            static_cast<std::uint64_t>(ref.gap) + 1;
+        cache.access(ref);
+    }
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(s.accesses, static_cast<std::uint64_t>(refs));
+    EXPECT_EQ(s.instructions, expected_instr);
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+    EXPECT_EQ(s.fills, s.misses); // write-allocate
+    EXPECT_LE(s.writebacks, s.fills);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomValidation,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+} // namespace
+} // namespace uatm

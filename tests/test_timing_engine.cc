@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Unit tests for the timing engine: exact cycle accounting per
+ * stalling feature, write buffers, pipelined fills, and the
+ * FS-vs-Eq.2 exactness property the tradeoff model relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/timing_engine.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+MemoryReference
+load(Addr addr, std::uint32_t gap = 0)
+{
+    return MemoryReference{addr, gap, 4, RefKind::Load};
+}
+
+MemoryReference
+store(Addr addr, std::uint32_t gap = 0)
+{
+    return MemoryReference{addr, gap, 4, RefKind::Store};
+}
+
+CacheConfig
+testCache()
+{
+    CacheConfig config;
+    config.sizeBytes = 256; // 4 sets x 2 ways x 32B lines
+    config.assoc = 2;
+    config.lineBytes = 32;
+    return config;
+}
+
+MemoryConfig
+testMemory(Cycles mu_m = 8, bool pipelined = false)
+{
+    MemoryConfig config;
+    config.busWidthBytes = 4;
+    config.cycleTime = mu_m;
+    config.pipelined = pipelined;
+    config.pipelineInterval = 2;
+    return config;
+}
+
+TimingEngine
+makeEngine(StallFeature feature, Cycles mu_m = 8,
+           std::uint32_t wbuf_depth = 0, bool pipelined = false,
+           std::uint32_t mshrs = 1,
+           CacheConfig cache_config = testCache())
+{
+    CpuConfig cpu;
+    cpu.feature = feature;
+    cpu.mshrs = mshrs;
+    return TimingEngine(cache_config, testMemory(mu_m, pipelined),
+                        WriteBufferConfig{wbuf_depth, true}, cpu);
+}
+
+// ------------------------------------------------------------------- FS
+
+TEST(TimingFS, SingleMissCostsFullLine)
+{
+    auto engine = makeEngine(StallFeature::FS);
+    Trace t;
+    t.append(load(0x000));
+    const auto stats = engine.run(t, 100);
+    // Miss replaces the base cycle: (L/D) mu_m = 8 * 8 = 64.
+    EXPECT_EQ(stats.cycles, 64u);
+    EXPECT_EQ(stats.fills, 1u);
+    EXPECT_EQ(stats.initialMissWait, 64u);
+    EXPECT_DOUBLE_EQ(stats.phi(8), 8.0); // phi = L/D exactly
+}
+
+TEST(TimingFS, HitCostsOneCycle)
+{
+    auto engine = makeEngine(StallFeature::FS);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x004, 2)); // 2 gap instr + 1 hit
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 64u + 3u);
+    EXPECT_EQ(stats.instructions, 4u);
+}
+
+TEST(TimingFS, DirtyEvictionAddsSynchronousFlush)
+{
+    auto engine = makeEngine(StallFeature::FS);
+    Trace t;
+    t.append(store(0x000)); // miss, fills, dirties
+    t.append(load(0x080));  // miss, other way of set 0
+    t.append(load(0x100));  // miss, evicts dirty 0x000
+    const auto stats = engine.run(t, 100);
+    // 3 fills * 64 + one flush * 64.
+    EXPECT_EQ(stats.cycles, 3 * 64u + 64u);
+    EXPECT_EQ(stats.flushStall, 64u);
+}
+
+TEST(TimingFS, WriteBufferHidesTheFlush)
+{
+    auto engine = makeEngine(StallFeature::FS, 8, /*wbuf=*/8);
+    Trace t;
+    t.append(store(0x000));
+    t.append(load(0x080, 200)); // far apart: no port contention
+    t.append(load(0x100, 200));
+    t.append(load(0x140, 200));
+    const auto no_flush_cycles = engine.run(t, 100).cycles;
+
+    auto sync_engine = makeEngine(StallFeature::FS, 8, /*wbuf=*/0);
+    const auto sync_cycles = sync_engine.run(t, 100).cycles;
+    EXPECT_EQ(sync_cycles, no_flush_cycles + 64u);
+}
+
+TEST(TimingFS, MatchesEq2OnSyntheticWorkload)
+{
+    // The strongest invariant: for a full-stalling cache with no
+    // write buffer, the engine must reproduce Eq. 2 exactly.
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 24; // fits badly in the 256B test cache
+    ws.decay = 0.9;
+    ws.coldFraction = 0.05;
+    ws.storeFraction = 0.3;
+    WorkingSetGenerator gen(ws, Rng(5));
+
+    const Cycles mu_m = 6;
+    auto engine = makeEngine(StallFeature::FS, mu_m);
+    const auto stats = engine.run(gen, 5000);
+    const auto &cs = engine.cacheStats();
+
+    const std::uint64_t line_over_bus = 32 / 4;
+    const std::uint64_t expected =
+        (cs.instructions - cs.fills) +
+        cs.fills * line_over_bus * mu_m +
+        cs.writebacks * line_over_bus * mu_m;
+    EXPECT_EQ(stats.cycles, expected);
+}
+
+// ------------------------------------------------------------------- BL
+
+TEST(TimingBL, ResumesOnRequestedChunk)
+{
+    auto engine = makeEngine(StallFeature::BL);
+    Trace t;
+    t.append(load(0x000));
+    const auto stats = engine.run(t, 100);
+    // CPU resumes after the first chunk (mu_m = 8).
+    EXPECT_EQ(stats.cycles, 8u);
+    EXPECT_DOUBLE_EQ(stats.phi(8), 1.0); // Table 2 minimum
+}
+
+TEST(TimingBL, AnyAccessDuringFillStallsToCompletion)
+{
+    auto engine = makeEngine(StallFeature::BL);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x080)); // different line, still bus-locked
+    const auto stats = engine.run(t, 100);
+    // Resume at 8; second access stalls to 64; its own miss fill
+    // grants at 64 and resumes at 72.
+    EXPECT_EQ(stats.cycles, 72u);
+    EXPECT_EQ(stats.inflightAccessStall, 56u);
+}
+
+TEST(TimingBL, NonMemoryInstructionsOverlapTheFill)
+{
+    auto engine = makeEngine(StallFeature::BL);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x084, 100)); // 100 ALU ops bridge the fill
+    const auto stats = engine.run(t, 100);
+    // 8 (first chunk) + 100 gap -> t=108, fill long done; second
+    // miss fills at 108..172, resumes 116.
+    EXPECT_EQ(stats.cycles, 116u);
+    EXPECT_EQ(stats.inflightAccessStall, 0u);
+}
+
+// ----------------------------------------------------------------- BNL1
+
+TEST(TimingBNL1, OtherLinesProceedDuringFill)
+{
+    auto engine = makeEngine(StallFeature::BNL1);
+    Trace t;
+    t.append(load(0x000)); // miss; resume at 8
+    t.append(load(0x020)); // second line
+    t.append(load(0x024)); // hit on second line while first fills?
+    const auto stats = engine.run(t, 100);
+    // 0x020 misses at 8 but must serialise behind the first fill
+    // (single memory port): stall 8->64, fill 64..128, resume 72.
+    // 0x024 hits the in-flight second line: BNL1 stalls to 128.
+    EXPECT_EQ(stats.cycles, 129u);
+    EXPECT_EQ(stats.missSerializationStall, 56u);
+    EXPECT_EQ(stats.inflightAccessStall, 56u);
+}
+
+TEST(TimingBNL1, AccessToInflightLineWaitsForCompletion)
+{
+    auto engine = makeEngine(StallFeature::BNL1);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x004)); // same line, already-arrived chunk
+    const auto stats = engine.run(t, 100);
+    // BNL1 ignores partial arrival: stall 8 -> 64, hit at 65.
+    EXPECT_EQ(stats.cycles, 65u);
+}
+
+// ----------------------------------------------------------------- BNL2
+
+TEST(TimingBNL2, ArrivedPartProceeds)
+{
+    auto engine = makeEngine(StallFeature::BNL2);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x000)); // chunk 0 arrived at 8 == issue time
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 9u);
+    EXPECT_EQ(stats.inflightAccessStall, 0u);
+}
+
+TEST(TimingBNL2, UnarrivedPartWaitsForWholeLine)
+{
+    auto engine = makeEngine(StallFeature::BNL2);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x01c)); // last chunk, arrives at 64
+    const auto stats = engine.run(t, 100);
+    // Stall until the *entire* line at 64, then the hit cycle.
+    EXPECT_EQ(stats.cycles, 65u);
+    EXPECT_EQ(stats.inflightAccessStall, 56u);
+}
+
+// ----------------------------------------------------------------- BNL3
+
+TEST(TimingBNL3, WaitsOnlyForTheRequestedChunk)
+{
+    auto engine = makeEngine(StallFeature::BNL3);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x004)); // chunk 1 arrives at 16
+    const auto stats = engine.run(t, 100);
+    // Stall 8 -> 16, then the hit cycle.
+    EXPECT_EQ(stats.cycles, 17u);
+    EXPECT_EQ(stats.inflightAccessStall, 8u);
+}
+
+TEST(TimingBNL3, RequestedWordFirstOrdering)
+{
+    auto engine = makeEngine(StallFeature::BNL3);
+    Trace t;
+    t.append(load(0x01c)); // miss on the LAST chunk of the line
+    t.append(load(0x000)); // wraparound: chunk 0 arrives second
+    const auto stats = engine.run(t, 100);
+    // Chunk 7 first at 8 (resume), chunk 0 at 16: stall 8 -> 16.
+    EXPECT_EQ(stats.cycles, 17u);
+}
+
+TEST(TimingBNL3, StrictlyFasterThanBNL1OnSameTrace)
+{
+    Trace t;
+    t.append(load(0x000));
+    for (int i = 1; i < 8; ++i)
+        t.append(load(0x000 + 4 * i, 1));
+    auto bnl1 = makeEngine(StallFeature::BNL1);
+    auto bnl3 = makeEngine(StallFeature::BNL3);
+    EXPECT_LT(bnl3.run(t, 100).cycles, bnl1.run(t, 100).cycles);
+}
+
+// ------------------------------------------------------------------- NB
+
+TEST(TimingNB, MissDoesNotStallTheIssuer)
+{
+    auto engine = makeEngine(StallFeature::NB);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x100, 100)); // far in the future
+    const auto stats = engine.run(t, 100);
+    // First miss costs 1; 100 ALU ops; second miss also costs 1.
+    EXPECT_EQ(stats.cycles, 102u);
+    EXPECT_DOUBLE_EQ(stats.phi(8), 0.0); // Table 2 minimum
+}
+
+TEST(TimingNB, ConsumerStallsUntilChunkArrives)
+{
+    auto engine = makeEngine(StallFeature::NB);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x004)); // consumes chunk 1 (arrives at 16)
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 17u);
+}
+
+TEST(TimingNB, SecondMissSerializesWithOneMshr)
+{
+    auto engine = makeEngine(StallFeature::NB, 8, 0, false, 1);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x080));
+    const auto stats = engine.run(t, 100);
+    // Second miss waits for the first fill (1 -> 64), then issues
+    // its own fill but does not wait for data: cost 1 at 64.
+    EXPECT_EQ(stats.cycles, 65u);
+    EXPECT_EQ(stats.missSerializationStall, 63u);
+}
+
+TEST(TimingNB, TwoMshrsOverlapMisses)
+{
+    auto engine = makeEngine(StallFeature::NB, 8, 0, false, 2);
+    Trace t;
+    t.append(load(0x000));
+    t.append(load(0x080));
+    const auto stats = engine.run(t, 100);
+    // Neither miss stalls the CPU (transfers serialise on the port
+    // in the background).
+    EXPECT_EQ(stats.cycles, 2u);
+    EXPECT_EQ(stats.missSerializationStall, 0u);
+}
+
+// ------------------------------------------------------------ pipelined
+
+TEST(TimingPipelined, FullStallMissCostsMuP)
+{
+    auto engine = makeEngine(StallFeature::FS, 8, 0, true);
+    Trace t;
+    t.append(load(0x000));
+    const auto stats = engine.run(t, 100);
+    // mu_p = 8 + 2*(8-1) = 22.
+    EXPECT_EQ(stats.cycles, 22u);
+}
+
+TEST(TimingPipelined, BeatsNonPipelinedForLongLines)
+{
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 24;
+    ws.decay = 0.9;
+    ws.coldFraction = 0.05;
+    WorkingSetGenerator gen(ws, Rng(9));
+
+    auto plain = makeEngine(StallFeature::FS, 8, 0, false);
+    auto piped = makeEngine(StallFeature::FS, 8, 0, true);
+    EXPECT_LT(piped.run(gen, 3000).cycles,
+              plain.run(gen, 3000).cycles);
+}
+
+// ----------------------------------------------------------- write-around
+
+TEST(TimingWriteAround, StoreMissCostsOneMemoryCycle)
+{
+    CacheConfig config = testCache();
+    config.writeMiss = WriteMissPolicy::WriteAround;
+    auto engine = makeEngine(StallFeature::FS, 8, 0, false, 1,
+                             config);
+    Trace t;
+    t.append(store(0x000));
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 8u); // W * mu_m
+    EXPECT_EQ(stats.writeArounds, 1u);
+    EXPECT_EQ(stats.fills, 0u);
+}
+
+TEST(TimingWriteAround, BufferedStoreMissCostsOneCycle)
+{
+    CacheConfig config = testCache();
+    config.writeMiss = WriteMissPolicy::WriteAround;
+    auto engine = makeEngine(StallFeature::FS, 8, 4, false, 1,
+                             config);
+    Trace t;
+    t.append(store(0x000));
+    const auto stats = engine.run(t, 100);
+    EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(TimingWriteBuffer, ReadBypassBeatsPlainFifo)
+{
+    // Sec. 4.3's qualifier matters: a buffer whose reads must
+    // drain older writes first helps less than a read-bypassing
+    // one, and both beat the synchronous design.
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 24;
+    ws.decay = 0.9;
+    ws.coldFraction = 0.05;
+    ws.storeFraction = 0.4;
+    WorkingSetGenerator gen(ws, Rng(77));
+
+    auto run = [&](std::uint32_t depth, bool bypass) {
+        CpuConfig cpu;
+        cpu.feature = StallFeature::FS;
+        TimingEngine engine(testCache(), testMemory(8),
+                            WriteBufferConfig{depth, bypass},
+                            cpu);
+        return engine.run(gen, 4000).cycles;
+    };
+    const Cycles sync = run(0, true);
+    const Cycles fifo = run(8, false);
+    const Cycles bypass = run(8, true);
+    EXPECT_LE(bypass, fifo);
+    EXPECT_LT(fifo, sync);
+}
+
+// --------------------------------------------------------------- ordering
+
+TEST(TimingOrdering, FeatureCyclesAreMonotone)
+{
+    // On any workload: FS >= BL >= BNL1 >= BNL2 >= BNL3 >= NB.
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 24;
+    ws.decay = 0.9;
+    ws.coldFraction = 0.05;
+    ws.storeFraction = 0.2;
+    WorkingSetGenerator gen(ws, Rng(21));
+
+    Cycles previous = ~0ull;
+    for (StallFeature f :
+         {StallFeature::FS, StallFeature::BL, StallFeature::BNL1,
+          StallFeature::BNL2, StallFeature::BNL3, StallFeature::NB}) {
+        auto engine = makeEngine(f, 12, 16);
+        const auto cycles = engine.run(gen, 4000).cycles;
+        EXPECT_LE(cycles, previous) << stallFeatureName(f);
+        previous = cycles;
+    }
+}
+
+TEST(TimingOrdering, PhiWithinTable2Bounds)
+{
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 24;
+    ws.decay = 0.9;
+    ws.coldFraction = 0.05;
+    WorkingSetGenerator gen(ws, Rng(33));
+
+    const Cycles mu_m = 8;
+    for (StallFeature f :
+         {StallFeature::BL, StallFeature::BNL1, StallFeature::BNL2,
+          StallFeature::BNL3, StallFeature::NB}) {
+        auto engine = makeEngine(f, mu_m, 16);
+        const auto stats = engine.run(gen, 4000);
+        const auto bounds = phiBounds(f, 8.0);
+        const double phi = stats.phi(mu_m);
+        EXPECT_GE(phi, bounds.min - 1e-9) << stallFeatureName(f);
+        EXPECT_LE(phi, bounds.max + 1e-9) << stallFeatureName(f);
+    }
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(TimingStats, FormatMentionsKeyFields)
+{
+    auto engine = makeEngine(StallFeature::FS);
+    Trace t;
+    t.append(load(0x000));
+    const auto stats = engine.run(t, 100);
+    const std::string text = stats.format();
+    EXPECT_NE(text.find("cycles"), std::string::npos);
+    EXPECT_NE(text.find("CPI"), std::string::npos);
+}
+
+TEST(TimingStats, MeanMemoryDelayMatchesDefinition)
+{
+    auto engine = makeEngine(StallFeature::FS);
+    Trace t;
+    t.append(load(0x000));     // miss: 64 cycles
+    t.append(load(0x004, 1));  // hit
+    const auto stats = engine.run(t, 100);
+    // X = 64 + 1 + 1 = 66, E = 3, refs = 2:
+    // delay = (66 - 3)/2 + 1 = 32.5.
+    EXPECT_DOUBLE_EQ(stats.meanMemoryDelay(), 32.5);
+}
+
+TEST(TimingEngine, RejectsLineNarrowerThanBus)
+{
+    CacheConfig cache;
+    cache.lineBytes = 4;
+    cache.sizeBytes = 256;
+    cache.assoc = 1;
+    MemoryConfig mem;
+    mem.busWidthBytes = 8;
+    mem.cycleTime = 4;
+    CpuConfig cpu;
+    EXPECT_DEATH(
+        { TimingEngine engine(cache, mem, WriteBufferConfig{}, cpu); },
+        "line size");
+}
+
+} // namespace
+} // namespace uatm

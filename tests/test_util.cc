@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the util substrate: PRNG, statistics, tables,
+ * CSV escaping, charts and the option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "util/ascii_chart.hh"
+#include "util/csv.hh"
+#include "util/options.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace uatm {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        ++seen[rng.nextBelow(7)];
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusiveBounds)
+{
+    Rng rng(3);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        hit_lo |= v == -2;
+        hit_hi |= v == 2;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, StackDistanceFavoursTop)
+{
+    Rng rng(13);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.nextStackDistance(16, 0.7)];
+    // Geometric decay: index 0 strictly dominates index 4.
+    EXPECT_GT(counts[0], counts[4]);
+    EXPECT_GT(counts[1], counts[8]);
+}
+
+TEST(Rng, StackDistanceWithinBound)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextStackDistance(5, 0.99), 5u);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(21);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.nextWeighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The child should not replay the parent's stream.
+    Rng parent2(31);
+    parent2.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += child() == parent();
+    EXPECT_LT(same, 2);
+}
+
+// -------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty)
+{
+    RunningStats a, b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+// ------------------------------------------------------------ Histogram
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0); // underflow
+    h.add(0.0);  // bin 0
+    h.add(9.99); // bin 9
+    h.add(10.0); // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (double v : {0.5, 1.5, 2.5, 3.5})
+        h.add(v);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        sum += h.binFraction(i);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+// ----------------------------------------------------------- CounterGroup
+
+TEST(CounterGroup, IncrementAndQuery)
+{
+    CounterGroup g;
+    g.increment("hits");
+    g.increment("hits", 4);
+    g.increment("misses", 2);
+    EXPECT_EQ(g.value("hits"), 5u);
+    EXPECT_EQ(g.value("misses"), 2u);
+    EXPECT_EQ(g.value("absent"), 0u);
+}
+
+TEST(CounterGroup, FormatPreservesInsertionOrder)
+{
+    CounterGroup g;
+    g.increment("zebra");
+    g.increment("apple");
+    const auto entries = g.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].first, "zebra");
+    EXPECT_EQ(entries[1].first, "apple");
+}
+
+// ------------------------------------------------------------- TextTable
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"a", "longheader"});
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("longheader"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, CsvHasNoPadding)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "22"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,22\n");
+}
+
+// ------------------------------------------------------------- CsvWriter
+
+TEST(CsvWriter, EscapesSpecials)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvWriter, WritesRowsToFile)
+{
+    const std::string path = "/tmp/uatm_test_csv.csv";
+    {
+        CsvWriter w(path);
+        w.writeRow({"h1", "h2"});
+        w.writeNumericRow({1.5, 2.5});
+        EXPECT_EQ(w.rowsWritten(), 2u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "h1,h2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.5");
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ AsciiChart
+
+TEST(AsciiChart, RendersSeriesAndLegend)
+{
+    AsciiChart chart(40, 10);
+    chart.setTitle("test chart");
+    chart.addSeries(ChartSeries{"up", '*', {0, 1, 2}, {0, 1, 2}});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("test chart"), std::string::npos);
+    EXPECT_NE(out.find("[*] up"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartDoesNotCrash)
+{
+    AsciiChart chart;
+    EXPECT_NE(chart.render().find("empty"), std::string::npos);
+}
+
+// ----------------------------------------------------------- OptionParser
+
+TEST(OptionParser, ParsesTypedOptions)
+{
+    OptionParser p("prog");
+    p.addInt("count", 5, "a count");
+    p.addDouble("ratio", 0.5, "a ratio");
+    p.addString("name", "x", "a name");
+    p.addFlag("verbose", "a flag");
+
+    const char *argv[] = {"prog", "--count", "7", "--ratio=0.25",
+                          "--verbose"};
+    ASSERT_TRUE(p.parse(5, argv));
+    EXPECT_EQ(p.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.25);
+    EXPECT_EQ(p.getString("name"), "x");
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(OptionParser, DefaultsSurviveEmptyArgv)
+{
+    OptionParser p("prog");
+    p.addInt("n", 42, "n");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(p.parse(1, argv));
+    EXPECT_EQ(p.getInt("n"), 42);
+}
+
+TEST(OptionParser, HelpReturnsFalse)
+{
+    OptionParser p("prog", "desc");
+    p.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(OptionParser, UsageMentionsEveryOption)
+{
+    OptionParser p("prog");
+    p.addInt("alpha", 1, "the alpha value");
+    p.addFlag("fast", "go fast");
+    const std::string usage = p.usage();
+    EXPECT_NE(usage.find("--alpha"), std::string::npos);
+    EXPECT_NE(usage.find("--fast"), std::string::npos);
+    EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+} // namespace
+} // namespace uatm

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench CSV snapshots.
+
+The C++ benchmark binaries under build/bench/ write CSV snapshots to
+bench_out/ (override with UATM_BENCH_OUT).  This script turns them
+into PNGs that mirror the layout of the paper's Figures 1-6.
+
+Usage:
+    for b in build/bench/*; do $b; done     # produce the CSVs
+    python3 tools/plot_figures.py           # render bench_out/*.png
+
+Requires matplotlib; the repository's results do not depend on it —
+every figure is also printed as a table and an ASCII chart by the
+bench binaries themselves.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+OUT_DIR = Path(os.environ.get("UATM_BENCH_OUT", "bench_out"))
+
+
+def read_csv(name: str):
+    """Return (header, rows-as-floats-where-possible) or None."""
+    path = OUT_DIR / f"{name}.csv"
+    if not path.exists():
+        print(f"  [skip] {path} missing — run the bench first")
+        return None
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    header, data = rows[0], rows[1:]
+
+    def coerce(cell: str):
+        try:
+            return float(cell)
+        except ValueError:
+            return cell
+
+    return header, [[coerce(c) for c in row] for row in data]
+
+
+def save(fig, name: str) -> None:
+    path = OUT_DIR / f"{name}.png"
+    fig.savefig(path, dpi=150, bbox_inches="tight")
+    plt.close(fig)
+    print(f"  wrote {path}")
+
+
+def plot_fig1() -> None:
+    loaded = read_csv("fig1_stall_factors")
+    if not loaded:
+        return
+    header, rows = loaded
+    mu = [r[0] for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for idx, label in enumerate(header[1:], start=1):
+        ax.plot(mu, [r[idx] for r in rows], marker="o",
+                label=label)
+    ax.set_xlabel("memory cycle time per 4 bytes")
+    ax.set_ylabel("stalling factor (% of L/D)")
+    ax.set_title("Figure 1: stalling factors (six profiles, avg)")
+    ax.set_ylim(0, 105)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    save(fig, "fig1")
+
+
+def plot_fig2() -> None:
+    fig, axes = plt.subplots(2, 1, figsize=(6, 7), sharex=True)
+    for ax, base in zip(axes, ("98", "90")):
+        loaded = read_csv(f"fig2_baseHR{base}")
+        if not loaded:
+            return
+        header, rows = loaded
+        mu = [r[0] for r in rows]
+        for idx, label in enumerate(header[1:], start=1):
+            ax.plot(mu, [r[idx] for r in rows], marker=".",
+                    label=label)
+        ax.set_ylabel(f"dHR % @ base {base}%")
+        ax.grid(True, alpha=0.3)
+        ax.legend()
+    axes[1].set_xlabel("memory cycle time per 4 bytes")
+    axes[0].set_title("Figure 2: hit ratio traded by doubling the "
+                      "bus")
+    save(fig, "fig2")
+
+
+def plot_unified(name: str, csv_name: str, title: str) -> None:
+    loaded = read_csv(csv_name)
+    if not loaded:
+        return
+    header, rows = loaded
+    mu = [r[0] for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    # Columns: pipelined, double bus, write buffers, BNL, phi.
+    for idx in range(1, len(header) - 1):
+        ax.plot(mu, [r[idx] for r in rows], marker=".",
+                label=header[idx])
+    ax.set_xlabel("non-pipelined memory cycle per 4 bytes")
+    ax.set_ylabel("hit ratio traded (%)")
+    ax.set_title(title)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    save(fig, name)
+
+
+def plot_fig6() -> None:
+    panels = [
+        ("panel_a_16K_D4", "(a) 16K, D=4, c'=6"),
+        ("panel_b_8K_D8", "(b) 8K, D=8, c'=4"),
+        ("panel_c_16K_D8", "(c) 16K, D=8, c'=16.75"),
+        ("panel_d_8K_D8", "(d) 8K, D=8, c'=6"),
+    ]
+    fig, axes = plt.subplots(2, 2, figsize=(10, 7))
+    for ax, (panel, title) in zip(axes.flat, panels):
+        loaded = read_csv(f"fig6_{panel}")
+        if not loaded:
+            return
+        header, rows = loaded
+        beta = [r[0] for r in rows]
+        for idx, label in enumerate(header[1:-2], start=1):
+            ax.plot(beta, [r[idx] for r in rows], marker=".",
+                    label=label)
+        ax.axhline(0.0, color="black", linewidth=0.8)
+        ax.set_title(title, fontsize=10)
+        ax.set_xlabel("normalized bus speed (beta)")
+        ax.set_ylabel("reduced delay x100")
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=7)
+    fig.suptitle("Figure 6: validation with Smith's line sizes")
+    save(fig, "fig6")
+
+
+def main() -> None:
+    print(f"reading CSVs from {OUT_DIR}/")
+    if not OUT_DIR.exists():
+        sys.exit("bench_out/ missing — run the bench binaries "
+                 "first: for b in build/bench/*; do $b; done")
+    plot_fig1()
+    plot_fig2()
+    plot_unified("fig3", "fig3_unified_L8",
+                 "Figure 3: unified tradeoff, L = 8")
+    plot_unified("fig4", "fig4_unified_L32",
+                 "Figure 4: unified tradeoff, L = 32")
+    plot_unified("fig5", "fig5_unified_bnl3",
+                 "Figure 5: unified tradeoff, BNL3")
+    plot_fig6()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()
