@@ -45,6 +45,10 @@ main()
                                 WriteBufferConfig{16, true}, cpu);
             auto workload = Spec92Profile::make(profile, 313);
             const auto stats = engine.run(*workload, 80000);
+            bench::recordMachine(cache, mem,
+                                 WriteBufferConfig{16, true}, cpu);
+            bench::recordWorkload(profile, 313, 80000);
+            bench::recordStats(stats, mem.cycleTime);
             if (mshrs == 1)
                 at1 = stats.cycles;
             if (mshrs == 8)

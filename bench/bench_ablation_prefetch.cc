@@ -74,6 +74,23 @@ main()
                       static_cast<double>(tagged.prefetchesUseful) /
                       static_cast<double>(tagged.prefetchesIssued)
                 : 0.0;
+        {
+            // Manifest: the tagged-prefetch machine this row ran.
+            CacheConfig cache;
+            cache.sizeBytes = 8 * 1024;
+            cache.assoc = 2;
+            cache.lineBytes = 32;
+            MemoryConfig mem;
+            mem.busWidthBytes = 4;
+            mem.cycleTime = 8;
+            CpuConfig cpu;
+            cpu.feature = StallFeature::FS;
+            cpu.prefetch = PrefetchPolicy::Tagged;
+            bench::recordMachine(cache, mem,
+                                 WriteBufferConfig{16, true}, cpu);
+            bench::recordWorkload(name, 606, 80000);
+            bench::recordStats(tagged, mem.cycleTime);
+        }
         table.addRow({name, std::to_string(none.cycles),
                       std::to_string(onmiss.cycles),
                       std::to_string(tagged.cycles),

@@ -60,6 +60,11 @@ main()
                 cache, mem, WriteBufferConfig{depth, true}, cpu);
             auto workload = Spec92Profile::make(profile, 11);
             const auto stats = engine.run(*workload, 80000);
+            bench::recordMachine(cache, mem,
+                                 WriteBufferConfig{depth, true},
+                                 cpu);
+            bench::recordWorkload(profile, 11, 80000);
+            bench::recordStats(stats, mem.cycleTime);
             const double hidden =
                 100.0 *
                 static_cast<double>(sync - stats.cycles) /

@@ -10,9 +10,19 @@
 #include <filesystem>
 #include <fstream>
 
+#include "cpu/stall_feature.hh"
+#include "obs/profile.hh"
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace uatm::bench {
+
+obs::Manifest &
+manifest()
+{
+    static obs::Manifest instance;
+    return instance;
+}
 
 void
 banner(const std::string &experiment_id,
@@ -24,6 +34,8 @@ banner(const std::string &experiment_id,
                 description.c_str());
     std::printf("=============================================="
                 "======================\n");
+    manifest().setTool(experiment_id);
+    manifest().set("run", "description", description);
 }
 
 void
@@ -45,6 +57,63 @@ emitChart(const AsciiChart &chart)
 }
 
 void
+recordMachine(const CacheConfig &cache,
+              const MemoryConfig &memory,
+              const WriteBufferConfig &wbuf, const CpuConfig &cpu)
+{
+    obs::Manifest &m = manifest();
+    m.set("cache", "size_bytes", cache.sizeBytes);
+    m.set("cache", "assoc",
+          static_cast<std::uint64_t>(cache.assoc));
+    m.set("cache", "line_bytes",
+          static_cast<std::uint64_t>(cache.lineBytes));
+    m.set("cache", "write_miss",
+          writeMissPolicyName(cache.writeMiss));
+    m.set("cache", "write", writePolicyName(cache.write));
+    m.set("cache", "replacement",
+          replacementKindName(cache.replacement));
+    m.set("cache", "replacement_seed", cache.replacementSeed);
+    m.set("cache", "describe", cache.describe());
+
+    m.set("memory", "bus_width_bytes",
+          static_cast<std::uint64_t>(memory.busWidthBytes));
+    m.set("memory", "cycle_time", memory.cycleTime);
+    m.set("memory", "pipelined", memory.pipelined);
+    m.set("memory", "pipeline_interval", memory.pipelineInterval);
+    m.set("memory", "describe", memory.describe());
+
+    m.set("write_buffer", "depth",
+          static_cast<std::uint64_t>(wbuf.depth));
+    m.set("write_buffer", "read_bypass", wbuf.readBypass);
+
+    m.set("cpu", "feature", stallFeatureName(cpu.feature));
+    m.set("cpu", "mshrs", static_cast<std::uint64_t>(cpu.mshrs));
+    m.set("cpu", "suppress_flush_traffic",
+          cpu.suppressFlushTraffic);
+    m.set("cpu", "prefetch", prefetchPolicyName(cpu.prefetch));
+}
+
+void
+recordWorkload(const std::string &profile, std::uint64_t seed,
+               std::uint64_t refs)
+{
+    obs::Manifest &m = manifest();
+    m.set("workload", "profile", profile);
+    m.set("workload", "seed", seed);
+    m.set("workload", "refs", refs);
+}
+
+void
+recordStats(const TimingStats &stats, Cycles mu_m)
+{
+    obs::StatRegistry registry;
+    stats.registerStats(registry, "engine", mu_m);
+    obs::ProfileRegistry::instance().registerStats(registry,
+                                                   "profile");
+    manifest().setStats(registry);
+}
+
+void
 exportCsv(const std::string &name, const TextTable &table)
 {
     const char *env = std::getenv("UATM_BENCH_OUT");
@@ -52,18 +121,30 @@ exportCsv(const std::string &name, const TextTable &table)
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
-        warn("cannot create CSV output directory '", dir.string(),
-             "': ", ec.message());
-        return;
+        fatal("cannot create CSV output directory '", dir.string(),
+              "': ", ec.message());
     }
     const std::filesystem::path path = dir / (name + ".csv");
     std::ofstream out(path);
-    if (!out) {
-        warn("cannot write CSV snapshot '", path.string(), "'");
-        return;
-    }
+    if (!out)
+        fatal("cannot write CSV snapshot '", path.string(), "'");
     out << table.renderCsv();
+    out.close();
+    if (!out)
+        fatal("failed while writing CSV snapshot '", path.string(),
+              "'");
     std::printf("[csv] wrote %s\n", path.string().c_str());
+
+    // The sibling manifest records what produced this CSV.
+    const std::filesystem::path manifest_path =
+        dir / (name + ".manifest.json");
+    obs::Manifest snapshot = manifest();
+    snapshot.set("output", "csv", path.string());
+    snapshot.set("output", "rows",
+                 static_cast<std::uint64_t>(table.rows()));
+    snapshot.write(manifest_path.string());
+    std::printf("[manifest] wrote %s\n",
+                manifest_path.string().c_str());
 }
 
 void

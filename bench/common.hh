@@ -1,22 +1,34 @@
 /**
  * @file
  * Shared scaffolding for the figure/table regeneration binaries:
- * section banners, CSV export next to the binary output, and the
- * paper-vs-measured row helper used by EXPERIMENTS.md.
+ * section banners, CSV export next to the binary output, the
+ * paper-vs-measured row helper used by EXPERIMENTS.md, and the
+ * run-manifest sink — every CSV gets a sibling
+ * <name>.manifest.json recording the configuration that produced
+ * it (see docs/OBSERVABILITY.md).
  */
 
 #ifndef UATM_BENCH_COMMON_HH
 #define UATM_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "cache/config.hh"
+#include "cpu/timing_engine.hh"
+#include "memory/timing.hh"
+#include "memory/write_buffer.hh"
+#include "obs/manifest.hh"
 #include "util/ascii_chart.hh"
 #include "util/table.hh"
 
 namespace uatm::bench {
 
-/** Print a banner naming the experiment and the paper artefact. */
+/**
+ * Print a banner naming the experiment and the paper artefact;
+ * also stamps the run manifest with the experiment id.
+ */
 void banner(const std::string &experiment_id,
             const std::string &description);
 
@@ -31,14 +43,39 @@ void emitChart(const AsciiChart &chart);
 
 /**
  * Write a CSV snapshot under $UATM_BENCH_OUT (default
- * "bench_out/") so figures can be re-plotted externally; prints
- * the path written.
+ * "bench_out/"), creating the directory recursively, plus a
+ * sibling <name>.manifest.json run manifest; prints the paths
+ * written.  fatal() when the directory or files are unwritable.
  */
 void exportCsv(const std::string &name, const TextTable &table);
 
 /** One paper-vs-measured comparison line. */
 void compareLine(const std::string &what, const std::string &paper,
                  const std::string &measured, bool matches);
+
+/**
+ * The process-wide run manifest written next to every CSV.
+ * banner() and the record*() helpers populate it; benches can add
+ * experiment-specific keys directly.
+ */
+obs::Manifest &manifest();
+
+/** Record the simulated machine configuration in the manifest. */
+void recordMachine(const CacheConfig &cache,
+                   const MemoryConfig &memory,
+                   const WriteBufferConfig &wbuf,
+                   const CpuConfig &cpu);
+
+/** Record the trace profile and seed driving the run. */
+void recordWorkload(const std::string &profile,
+                    std::uint64_t seed, std::uint64_t refs);
+
+/**
+ * Record a final timing-stat dump (full stat registry, including
+ * any wall-clock profile scopes) in the manifest.  @p mu_m
+ * additionally exposes the derived phi stat.
+ */
+void recordStats(const TimingStats &stats, Cycles mu_m = 0);
 
 } // namespace uatm::bench
 

@@ -9,6 +9,7 @@
 #include <bit>
 #include <sstream>
 
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace uatm {
@@ -80,6 +81,70 @@ CacheStats::format(std::uint32_t line_bytes) const
        << "  stores->mem  = " << storesToMemory << '\n'
        << "  instructions = " << instructions << '\n';
     return os.str();
+}
+
+// Drift guard: keep registerStats() (and format()) in sync with
+// the field list.  Adjust the count when adding counters.
+static_assert(sizeof(CacheStats) == 14 * sizeof(std::uint64_t),
+              "CacheStats changed: update registerStats()");
+
+void
+CacheStats::registerStats(obs::StatRegistry &registry,
+                          const std::string &prefix,
+                          std::uint32_t line_bytes) const
+{
+    const obs::StatGroup root(registry, prefix);
+    const auto s = [](std::uint64_t v) {
+        return static_cast<double>(v);
+    };
+
+    root.addScalar("accesses", s(accesses),
+                   "references applied", "count");
+    root.addScalar("loads", s(loads), "load references", "count");
+    root.addScalar("stores", s(stores), "store references",
+                   "count");
+    root.addScalar("hits", s(hits), "cache hits", "count");
+    root.addScalar("misses", s(misses), "cache misses", "count");
+    root.addScalar("load_misses", s(loadMisses), "load misses",
+                   "count");
+    root.addScalar("store_misses", s(storeMisses), "store misses",
+                   "count");
+    root.addScalar("fills", s(fills), "demand line fills",
+                   "count");
+    root.addScalar("writebacks", s(writebacks),
+                   "dirty lines flushed on eviction", "count");
+    root.addScalar("stores_to_memory", s(storesToMemory),
+                   "stores sent past the cache to memory",
+                   "count");
+    root.addScalar("stores_to_memory_bytes",
+                   s(storesToMemoryBytes),
+                   "bytes carried by stores to memory", "bytes");
+    root.addScalar("cold_misses", s(coldMisses),
+                   "first-touch (compulsory) misses", "count");
+    root.addScalar("prefetch_inserts", s(prefetchInserts),
+                   "lines inserted by hardware prefetch", "count");
+    root.addScalar("instructions", s(instructions),
+                   "instructions E implied by the stream",
+                   "count");
+
+    const obs::StatGroup derived = root.group("derived");
+    derived.addFormula("hit_ratio", [copy = *this] {
+        return copy.hitRatio();
+    }, "hits / accesses", "ratio");
+    derived.addFormula("miss_ratio", [copy = *this] {
+        return copy.missRatio();
+    }, "misses / accesses", "ratio");
+    derived.addFormula("flush_ratio",
+                       [copy = *this, line_bytes] {
+        return copy.flushRatio(line_bytes);
+    }, "paper's alpha: flushed bytes / read bytes", "ratio");
+    derived.addFormula("bytes_read", [copy = *this, line_bytes] {
+        return static_cast<double>(copy.bytesRead(line_bytes));
+    }, "fills * line size (R)", "bytes");
+    derived.addFormula("bytes_flushed",
+                       [copy = *this, line_bytes] {
+        return static_cast<double>(copy.bytesFlushed(line_bytes));
+    }, "writebacks * line size", "bytes");
 }
 
 SetAssocCache::SetAssocCache(const CacheConfig &config)

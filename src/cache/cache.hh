@@ -22,6 +22,10 @@
 #include "cache/replacement.hh"
 #include "trace/ref.hh"
 
+namespace uatm::obs {
+class StatRegistry;
+} // namespace uatm::obs
+
 namespace uatm {
 
 /** What one cache access did. */
@@ -106,6 +110,14 @@ struct CacheStats
 
     /** Multi-line human-readable block. */
     std::string format(std::uint32_t line_bytes) const;
+
+    /**
+     * Register every counter plus the ratio formulas into the stat
+     * registry under @p prefix (e.g. "cache" -> "cache.hits").
+     */
+    void registerStats(obs::StatRegistry &registry,
+                       const std::string &prefix,
+                       std::uint32_t line_bytes) const;
 };
 
 /** What a prefetch insertion did. */

@@ -5,6 +5,7 @@
 
 #include "cache/sweep.hh"
 
+#include "obs/profile.hh"
 #include "util/logging.hh"
 
 namespace uatm {
@@ -13,6 +14,7 @@ CacheRunResult
 runCacheSim(const CacheConfig &config, TraceSource &source,
             std::uint64_t refs, std::uint64_t warmup_refs)
 {
+    UATM_PROFILE_SCOPE("cache.run_sim");
     UATM_ASSERT(warmup_refs <= refs,
                 "warmup longer than the whole run");
     source.reset();
@@ -57,6 +59,7 @@ sweepCacheSize(const CacheConfig &base, TraceSource &source,
                const std::vector<std::uint64_t> &sizes,
                std::uint64_t refs, std::uint64_t warmup_refs)
 {
+    UATM_PROFILE_SCOPE("cache.sweep_size");
     std::vector<SweepPoint> points;
     points.reserve(sizes.size());
     for (std::uint64_t size : sizes) {
@@ -76,6 +79,7 @@ sweepLineSize(const CacheConfig &base, TraceSource &source,
               const std::vector<std::uint32_t> &line_sizes,
               std::uint64_t refs, std::uint64_t warmup_refs)
 {
+    UATM_PROFILE_SCOPE("cache.sweep_line");
     std::vector<SweepPoint> points;
     points.reserve(line_sizes.size());
     for (std::uint32_t line : line_sizes) {

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "obs/profile.hh"
 #include "util/logging.hh"
 
 namespace uatm {
@@ -45,6 +46,7 @@ designMeanMemoryDelay(const DesignPoint &design,
 DesignPoint
 equivalentDoubleBusDesign(const DesignPoint &base, double alpha)
 {
+    UATM_PROFILE_SCOPE("core.equivalence");
     TradeoffContext ctx;
     ctx.machine = base.machine;
     ctx.alpha = alpha;
@@ -58,6 +60,7 @@ equivalentDoubleBusDesign(const DesignPoint &base, double alpha)
 DesignPoint
 equivalentNarrowBusDesign(const DesignPoint &improved, double alpha)
 {
+    UATM_PROFILE_SCOPE("core.equivalence");
     UATM_ASSERT(improved.machine.busWidth >= 8,
                 "cannot halve a bus narrower than 8 bytes here");
     DesignPoint narrow;

@@ -8,9 +8,20 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/profile.hh"
+#include "obs/registry.hh"
+#include "obs/trace_event.hh"
 #include "util/logging.hh"
 
 namespace uatm {
+
+// Drift guard: every numeric field of TimingStats must appear in
+// counters(), registerStats() and the test drift guard.  If this
+// fires you added/removed a field — update all three (and the JSON
+// schema note in docs/OBSERVABILITY.md), then adjust the count.
+static_assert(sizeof(TimingStats) == 15 * sizeof(std::uint64_t),
+              "TimingStats changed: update counters(), "
+              "registerStats() and tests/test_obs.cc");
 
 const char *
 prefetchPolicyName(PrefetchPolicy policy)
@@ -122,18 +133,96 @@ TimingStats::counters() const
     return group;
 }
 
+void
+TimingStats::registerStats(obs::StatRegistry &registry,
+                           const std::string &prefix,
+                           Cycles mu_m) const
+{
+    const obs::StatGroup root(registry, prefix);
+    const auto s = [](std::uint64_t v) {
+        return static_cast<double>(v);
+    };
+
+    const obs::StatGroup sim = root.group("sim");
+    sim.addScalar("cycles", s(cycles),
+                  "total execution time X", "cycles");
+    sim.addScalar("instructions", s(instructions),
+                  "instructions executed (E)", "count");
+    sim.addScalar("references", s(references),
+                  "data references processed", "count");
+    sim.addScalar("fills", s(fills),
+                  "line fills issued", "count");
+    sim.addScalar("write_arounds", s(writeArounds),
+                  "write-around store misses sent to memory (W)",
+                  "count");
+
+    const obs::StatGroup stall = root.group("stall");
+    stall.addScalar("initial_miss_wait", s(initialMissWait),
+                    "initial wait for missed data from fill grant",
+                    "cycles");
+    stall.addScalar("inflight_access", s(inflightAccessStall),
+                    "stalls of accesses against in-flight lines",
+                    "cycles");
+    stall.addScalar("miss_serialization",
+                    s(missSerializationStall),
+                    "new misses waiting on a previous fill",
+                    "cycles");
+    stall.addScalar("flush", s(flushStall),
+                    "synchronous dirty-victim flushes", "cycles");
+    stall.addScalar("write", s(writeStall),
+                    "synchronous write-around/write-through cost",
+                    "cycles");
+    stall.addScalar("buffer_full", s(bufferFullStall),
+                    "CPU stalls on a full write buffer", "cycles");
+
+    root.group("port").addScalar(
+        "contention_wait", s(portContentionWait),
+        "read grants delayed by writes on the port", "cycles");
+
+    const obs::StatGroup prefetch = root.group("prefetch");
+    prefetch.addScalar("issued", s(prefetchesIssued),
+                       "prefetch transfers issued", "count");
+    prefetch.addScalar("useful", s(prefetchesUseful),
+                       "prefetched lines that served a demand",
+                       "count");
+    prefetch.addScalar("late", s(prefetchesLate),
+                       "demand accesses catching an in-flight "
+                       "prefetch", "count");
+
+    const obs::StatGroup derived = root.group("derived");
+    derived.addFormula("cpi", [copy = *this] {
+        return copy.cpi();
+    }, "cycles per instruction", "cycles/inst");
+    derived.addFormula("mean_memory_delay", [copy = *this] {
+        return copy.meanMemoryDelay();
+    }, "mean memory delay per data reference (Sec. 4.5)",
+    "cycles/ref");
+    if (mu_m != 0) {
+        derived.addFormula("phi", [copy = *this, mu_m] {
+            return copy.phi(mu_m);
+        }, "empirical stalling factor (Sec. 4.2)", "mu_m");
+    }
+}
+
 TimingEngine::TimingEngine(const CacheConfig &cache_config,
                            const MemoryConfig &memory_config,
                            const WriteBufferConfig &wbuf_config,
                            const CpuConfig &cpu_config)
     : cache_(cache_config), timing_(memory_config),
       wbufConfig_(wbuf_config), cpuConfig_(cpu_config),
-      scheduler_(timing_, wbuf_config)
+      scheduler_(timing_, wbuf_config),
+      tracer_(&obs::globalTracer())
 {
     cpuConfig_.validate();
     UATM_ASSERT(cache_config.lineBytes >=
                     memory_config.busWidthBytes,
                 "line size must be at least the bus width");
+}
+
+void
+TimingEngine::setTracer(obs::EventTracer *tracer)
+{
+    tracer_ = tracer ? tracer : &obs::globalTracer();
 }
 
 void
@@ -183,6 +272,10 @@ TimingEngine::issueFill(Cycles when, Addr line_addr, Addr addr,
     const std::uint32_t line_bytes = cache_.config().lineBytes;
     const ReadGrant grant = scheduler_.requestRead(when, line_bytes);
     stats.portContentionWait += grant.busWait;
+    if (grant.busWait > 0) {
+        tracer_->record("port_contention", "port", when,
+                        grant.busWait, line_addr);
+    }
 
     const std::vector<Cycles> order =
         timing_.chunkCompletionTimes(grant.start, line_bytes);
@@ -200,6 +293,8 @@ TimingEngine::issueFill(Cycles when, Addr line_addr, Addr addr,
     for (std::uint32_t k = 0; k < n; ++k)
         fill.arrivalByChunk[(first + k) % n] = order[k];
 
+    tracer_->record("fill", "fill", fill.start,
+                    fill.complete - fill.start, line_addr);
     inflight_.push_back(std::move(fill));
     ++stats.fills;
     return inflight_.back();
@@ -231,6 +326,10 @@ TimingEngine::issuePrefetch(Cycles when, Addr line_addr,
     fill.complete = order.back();
     fill.isPrefetch = true;
     fill.arrivalByChunk = order; // sequential from the line base
+    tracer_->record("prefetch_issue", "prefetch", when, 0,
+                    line_addr);
+    tracer_->record("prefetch_fill", "prefetch", fill.start,
+                    fill.complete - fill.start, line_addr);
     inflight_.push_back(std::move(fill));
 
     ++stats.prefetchesIssued;
@@ -250,6 +349,8 @@ TimingEngine::prunePrefetchSet()
 TimingStats
 TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
 {
+    UATM_PROFILE_SCOPE("engine.run");
+    obs::EventTracer &tracer = *tracer_;
     source.reset();
     cache_.reset();
     cache_.setColdTracking(max_refs <= (1u << 22));
@@ -284,6 +385,8 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                 latestCompletion(/*demand_only=*/true);
             if (complete > issue) {
                 stats.inflightAccessStall += complete - issue;
+                tracer.record("bus_locked", "stall", issue,
+                              complete - issue, ref->addr);
                 issue = complete;
             }
             pruneCompleted(issue);
@@ -334,6 +437,11 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                 }
                 if (until > issue) {
                     stats.inflightAccessStall += until - issue;
+                    tracer.record(fill->isPrefetch
+                                      ? "late_prefetch_cover"
+                                      : "inflight_access",
+                                  "stall", issue, until - issue,
+                                  ref->addr);
                     issue = until;
                     pruneCompleted(issue);
                 }
@@ -365,6 +473,8 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                     scheduler_.postWrite(issue, ref->size);
                 if (resume > issue) {
                     stats.writeStall += resume - issue;
+                    tracer.record("write_stall", "write", issue,
+                                  resume - issue, ref->addr);
                     cost = std::max<Cycles>(1, resume - issue);
                 }
             }
@@ -391,6 +501,9 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                     latestCompletion(/*demand_only=*/true);
                 if (complete > issue) {
                     stats.missSerializationStall += complete - issue;
+                    tracer.record("miss_serialization", "stall",
+                                  issue, complete - issue,
+                                  ref->addr);
                     issue = complete;
                 }
                 pruneCompleted(issue);
@@ -405,6 +518,8 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
             Cycles cost = 1;
             if (resume > issue) {
                 stats.writeStall += resume - issue;
+                tracer.record("write_around", "write", issue,
+                              resume - issue, ref->addr);
                 cost = std::max<Cycles>(1, resume - issue);
             }
             now = issue + cost;
@@ -420,6 +535,9 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
             const Cycles done =
                 scheduler_.postWrite(fill_request, line_bytes);
             stats.flushStall += done - fill_request;
+            tracer.record("flush", "write", fill_request,
+                          done - fill_request,
+                          outcome.victimLineAddr);
             fill_request = done;
         }
 
@@ -434,6 +552,9 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
           case StallFeature::FS:
             resume = fill.complete;
             stats.initialMissWait += fill.complete - fill.start;
+            tracer.record("initial_miss_wait", "stall",
+                          fill.start, fill.complete - fill.start,
+                          ref->addr);
             break;
           case StallFeature::NB:
             // Fire and forget; the consumer stalls later if it
@@ -445,6 +566,11 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                 chunkArrival(fill, ref->addr);
             resume = first_chunk;
             stats.initialMissWait += first_chunk - fill.start;
+            if (first_chunk > fill.start) {
+                tracer.record("initial_miss_wait", "stall",
+                              fill.start, first_chunk - fill.start,
+                              ref->addr);
+            }
             break;
           }
         }
@@ -456,8 +582,12 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                 scheduler_.postWrite(fill.complete, line_bytes);
             if (wb_resume > resume &&
                 wb_resume > fill.complete) {
-                stats.bufferFullStall +=
-                    wb_resume - std::max(resume, fill.complete);
+                const Cycles from = std::max(resume,
+                                             fill.complete);
+                stats.bufferFullStall += wb_resume - from;
+                tracer.record("buffer_full", "write", from,
+                              wb_resume - from,
+                              outcome.victimLineAddr);
                 resume = std::max(resume, wb_resume);
             }
         }

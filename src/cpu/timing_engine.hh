@@ -41,6 +41,11 @@
 #include "trace/source.hh"
 #include "util/stats.hh"
 
+namespace uatm::obs {
+class EventTracer;
+class StatRegistry;
+} // namespace uatm::obs
+
 namespace uatm {
 
 /**
@@ -159,6 +164,16 @@ struct TimingStats
     /** The same breakdown as a named counter group (for tooling
      *  that consumes gem5-style stat dumps). */
     CounterGroup counters() const;
+
+    /**
+     * Register every counter plus the derived formulas (CPI, mean
+     * memory delay, and phi when @p mu_m is nonzero) into the stat
+     * registry under @p prefix (e.g. "engine" -> "engine.sim.*",
+     * "engine.stall.*").  Names match counters() exactly.
+     */
+    void registerStats(obs::StatRegistry &registry,
+                       const std::string &prefix,
+                       Cycles mu_m = 0) const;
 };
 
 /**
@@ -189,6 +204,13 @@ class TimingEngine
         return timing_.config();
     }
 
+    /**
+     * Redirect stall-interval tracing (defaults to
+     * obs::globalTracer(), which UATM_TRACE arms).  Pass nullptr
+     * to restore the default.
+     */
+    void setTracer(obs::EventTracer *tracer);
+
   private:
     /** One outstanding line fill. */
     struct InflightFill
@@ -209,6 +231,7 @@ class TimingEngine
     WriteBufferConfig wbufConfig_;
     CpuConfig cpuConfig_;
     MemoryScheduler scheduler_;
+    obs::EventTracer *tracer_; ///< never null; see setTracer()
 
     std::vector<InflightFill> inflight_;
 

@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+namespace uatm::obs {
+class StatRegistry;
+} // namespace uatm::obs
+
 namespace uatm {
 
 /** Cycle counts are in CPU clock cycles. */
@@ -72,6 +76,13 @@ class MemoryTiming
      */
     std::vector<Cycles> chunkCompletionTimes(
         Cycles start, std::uint32_t line_bytes) const;
+
+    /**
+     * Register the memory-system parameters as config stats under
+     * @p prefix, e.g. "mem" -> "mem.bus_width_bytes".
+     */
+    void registerStats(obs::StatRegistry &registry,
+                       const std::string &prefix) const;
 
   private:
     MemoryConfig config_;

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace uatm {
@@ -125,6 +126,29 @@ std::size_t
 MemoryScheduler::pendingWrites() const
 {
     return queue_.size();
+}
+
+void
+MemoryScheduler::registerStats(obs::StatRegistry &registry,
+                               const std::string &prefix) const
+{
+    const obs::StatGroup root(registry, prefix);
+    root.addScalar("depth", wbuf_.depth,
+                   "write-buffer entries (0 = synchronous)",
+                   "entries");
+    root.addScalar("read_bypass", wbuf_.readBypass ? 1.0 : 0.0,
+                   "reads jump ahead of queued write chunks",
+                   "bool");
+    root.addScalar("read_wait_cycles",
+                   static_cast<double>(readWaitCycles_),
+                   "cycles reads waited on the write port",
+                   "cycles");
+    root.addScalar("buffer_full_events",
+                   static_cast<double>(fullEvents_),
+                   "CPU stalls on a full write buffer", "count");
+    root.addScalar("pending_writes",
+                   static_cast<double>(queue_.size()),
+                   "writes still queued at dump time", "count");
 }
 
 void

@@ -23,6 +23,10 @@
 
 #include "memory/timing.hh"
 
+namespace uatm::obs {
+class StatRegistry;
+} // namespace uatm::obs
+
 namespace uatm {
 
 /** Write-buffer configuration. */
@@ -94,6 +98,13 @@ class MemoryScheduler
 
     /** Times the CPU stalled because the buffer was full. */
     std::uint64_t bufferFullEvents() const { return fullEvents_; }
+
+    /**
+     * Register the scheduler counters (and the write-buffer
+     * configuration) under @p prefix, e.g. "wbuf".
+     */
+    void registerStats(obs::StatRegistry &registry,
+                       const std::string &prefix) const;
 
     /** Reset to idle. */
     void reset();

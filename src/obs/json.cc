@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the minimal JSON writer.
+ */
+
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace uatm::obs {
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back('o');
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    UATM_ASSERT(!stack_.empty() && stack_.back() == 'o',
+                "endObject() outside an object");
+    UATM_ASSERT(!pendingKey_, "dangling key at endObject()");
+    out_ += '}';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back('a');
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    UATM_ASSERT(!stack_.empty() && stack_.back() == 'a',
+                "endArray() outside an array");
+    out_ += ']';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    UATM_ASSERT(!stack_.empty() && stack_.back() == 'o',
+                "key() is only valid inside an object");
+    UATM_ASSERT(!pendingKey_, "two keys in a row");
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+    out_ += escape(k);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out_ += escape(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeValue();
+    out_ += json;
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    UATM_ASSERT(stack_.empty(),
+                "unbalanced JSON document (missing end calls)");
+    return out_;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+JsonWriter::formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Exact integers render without a decimal point so counters
+    // round-trip textually ("fills": 7, not 7.0).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        UATM_ASSERT(out_.empty(),
+                    "only one top-level JSON value is allowed");
+        return;
+    }
+    if (stack_.back() == 'o') {
+        UATM_ASSERT(pendingKey_,
+                    "value inside an object needs a key() first");
+        pendingKey_ = false;
+        return;
+    }
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+}
+
+} // namespace uatm::obs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability layer
+ * (stat dumps, Chrome trace files, run manifests).
+ *
+ * Deliberately tiny: no DOM, no parsing, just balanced emission
+ * with correct escaping and locale-independent number formatting.
+ * Misuse (value without key inside an object, unbalanced nesting)
+ * trips UATM_ASSERT rather than producing broken output.
+ */
+
+#ifndef UATM_OBS_JSON_HH
+#define UATM_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace uatm::obs {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit the key of the next key/value pair (object scope). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(const std::string &v);
+
+    /** Bool / integral / floating-point values. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    JsonWriter &
+    value(T v)
+    {
+        if constexpr (std::is_same_v<T, bool>) {
+            return rawValue(v ? "true" : "false");
+        } else if constexpr (std::is_floating_point_v<T>) {
+            return rawValue(formatNumber(static_cast<double>(v)));
+        } else if constexpr (std::is_signed_v<T>) {
+            return rawValue(std::to_string(
+                static_cast<std::int64_t>(v)));
+        } else {
+            return rawValue(std::to_string(
+                static_cast<std::uint64_t>(v)));
+        }
+    }
+
+    /** Emit pre-rendered JSON (e.g. a nested document) verbatim. */
+    JsonWriter &rawValue(std::string_view json);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    keyValue(std::string_view k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /** Finished document; asserts the nesting is balanced. */
+    const std::string &str() const;
+
+    /** Quote and escape @p s as a JSON string literal. */
+    static std::string escape(std::string_view s);
+
+    /** Locale-independent rendering; non-finite becomes null. */
+    static std::string formatNumber(double v);
+
+  private:
+    std::string out_;
+    std::vector<char> stack_;      ///< 'o' = object, 'a' = array
+    std::vector<bool> first_;      ///< no comma needed yet per level
+    bool pendingKey_ = false;      ///< key() emitted, value expected
+
+    void beforeValue();
+};
+
+} // namespace uatm::obs
+
+#endif // UATM_OBS_JSON_HH

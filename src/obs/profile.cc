@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the scoped wall-clock profiler.
+ */
+
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "obs/registry.hh"
+#include "util/logging.hh"
+
+namespace uatm::obs {
+
+namespace {
+
+void
+dumpProfileAtExit()
+{
+    const std::string dump = ProfileRegistry::instance().format();
+    if (!dump.empty())
+        std::fputs(dump.c_str(), stderr);
+}
+
+} // namespace
+
+ProfileRegistry::ProfileRegistry()
+{
+    if (const char *env = std::getenv("UATM_PROFILE");
+        env && *env && std::string_view(env) != "0") {
+        enabled_ = true;
+    }
+}
+
+ProfileRegistry &
+ProfileRegistry::instance()
+{
+    static ProfileRegistry registry;
+    // Arm the exit dump only after construction completes so the
+    // handler is sequenced before the registry's destruction.
+    static const bool armed = [&] {
+        if (registry.enabled())
+            std::atexit(dumpProfileAtExit);
+        return true;
+    }();
+    (void)armed;
+    return registry;
+}
+
+void
+ProfileRegistry::record(const char *name, double seconds)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &[scope, stats] : scopes_) {
+        if (scope == name) {
+            stats.add(seconds);
+            return;
+        }
+    }
+    scopes_.emplace_back(name, RunningStats{});
+    scopes_.back().second.add(seconds);
+}
+
+std::vector<std::pair<std::string, RunningStats>>
+ProfileRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return scopes_;
+}
+
+void
+ProfileRegistry::registerStats(StatRegistry &registry,
+                               const std::string &prefix) const
+{
+    for (const auto &[scope, stats] : snapshot()) {
+        registry.addDistribution(prefix + "." + scope, stats,
+                                 "wall-clock time of the '" +
+                                     scope + "' scope",
+                                 "seconds");
+    }
+}
+
+std::string
+ProfileRegistry::format() const
+{
+    const auto scopes = snapshot();
+    if (scopes.empty())
+        return "";
+    std::size_t width = 0;
+    for (const auto &[scope, stats] : scopes)
+        width = std::max(width, scope.size());
+    std::ostringstream os;
+    os << "uatm profile (wall-clock seconds):\n";
+    for (const auto &[scope, stats] : scopes) {
+        os << "  " << scope
+           << std::string(width - scope.size(), ' ')
+           << "  total " << stats.mean() *
+                  static_cast<double>(stats.count())
+           << "  n " << stats.count()
+           << "  mean " << stats.mean()
+           << "  max " << stats.max() << '\n';
+    }
+    return os.str();
+}
+
+void
+ProfileRegistry::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    scopes_.clear();
+}
+
+} // namespace uatm::obs

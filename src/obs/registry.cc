@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Implementation of the hierarchical stat registry.
+ */
+
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace uatm::obs {
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Scalar:
+        return "scalar";
+      case StatKind::Formula:
+        return "formula";
+      case StatKind::Distribution:
+        return "distribution";
+    }
+    panic("unknown StatKind");
+}
+
+double
+StatEntry::valueNow() const
+{
+    switch (kind) {
+      case StatKind::Scalar:
+        return scalar;
+      case StatKind::Formula:
+        return formula ? formula() : 0.0;
+      case StatKind::Distribution:
+        return distribution.mean();
+    }
+    panic("unknown StatKind");
+}
+
+StatEntry &
+StatRegistry::emplace(const std::string &name,
+                      const std::string &description,
+                      const std::string &unit, StatKind kind)
+{
+    UATM_ASSERT(!name.empty(), "stat name must not be empty");
+    UATM_ASSERT(!index_.contains(name),
+                "duplicate stat registration: ", name);
+    index_.emplace(name, entries_.size());
+    StatEntry &entry = entries_.emplace_back();
+    entry.name = name;
+    entry.description = description;
+    entry.unit = unit;
+    entry.kind = kind;
+    return entry;
+}
+
+void
+StatRegistry::addScalar(const std::string &name, double value,
+                        const std::string &description,
+                        const std::string &unit)
+{
+    emplace(name, description, unit, StatKind::Scalar).scalar =
+        value;
+}
+
+void
+StatRegistry::addFormula(const std::string &name,
+                         std::function<double()> formula,
+                         const std::string &description,
+                         const std::string &unit)
+{
+    emplace(name, description, unit, StatKind::Formula).formula =
+        std::move(formula);
+}
+
+void
+StatRegistry::addDistribution(const std::string &name,
+                              const RunningStats &distribution,
+                              const std::string &description,
+                              const std::string &unit)
+{
+    emplace(name, description, unit,
+            StatKind::Distribution).distribution = distribution;
+}
+
+bool
+StatRegistry::contains(const std::string &name) const
+{
+    return index_.contains(name);
+}
+
+const StatEntry *
+StatRegistry::find(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    const StatEntry *entry = find(name);
+    UATM_ASSERT(entry, "unknown stat: ", name);
+    return entry->valueNow();
+}
+
+std::vector<const StatEntry *>
+StatRegistry::childrenOf(const std::string &prefix) const
+{
+    std::vector<const StatEntry *> out;
+    const std::string dotted = prefix + ".";
+    for (const auto &entry : entries_) {
+        if (entry.name == prefix ||
+            entry.name.starts_with(dotted)) {
+            out.push_back(&entry);
+        }
+    }
+    return out;
+}
+
+void
+StatRegistry::clear()
+{
+    entries_.clear();
+    index_.clear();
+}
+
+std::string
+StatRegistry::formatText() const
+{
+    std::size_t width = 0;
+    for (const auto &entry : entries_)
+        width = std::max(width, entry.name.size());
+
+    std::ostringstream os;
+    for (const auto &entry : entries_) {
+        os << entry.name
+           << std::string(width - entry.name.size(), ' ') << " = ";
+        if (entry.kind == StatKind::Distribution) {
+            const RunningStats &d = entry.distribution;
+            os << d.mean() << " (n=" << d.count()
+               << ", sd=" << d.stddev() << ", min=" << d.min()
+               << ", max=" << d.max() << ")";
+        } else {
+            os << JsonWriter::formatNumber(entry.valueNow());
+        }
+        if (!entry.unit.empty() || !entry.description.empty()) {
+            os << "  #";
+            if (!entry.unit.empty())
+                os << " (" << entry.unit << ")";
+            if (!entry.description.empty())
+                os << " " << entry.description;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+StatRegistry::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema_version", kStatSchemaVersion);
+    w.key("stats").beginObject();
+    for (const auto &entry : entries_) {
+        w.key(entry.name).beginObject();
+        w.keyValue("kind", statKindName(entry.kind));
+        if (entry.kind == StatKind::Distribution) {
+            const RunningStats &d = entry.distribution;
+            w.keyValue("count", d.count());
+            w.keyValue("mean", d.mean());
+            w.keyValue("stddev", d.stddev());
+            w.keyValue("min", d.min());
+            w.keyValue("max", d.max());
+        } else {
+            w.keyValue("value", entry.valueNow());
+        }
+        if (!entry.unit.empty())
+            w.keyValue("unit", entry.unit);
+        if (!entry.description.empty())
+            w.keyValue("desc", entry.description);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+StatGroup
+StatGroup::group(const std::string &name) const
+{
+    return StatGroup(registry_, qualify(name));
+}
+
+std::string
+StatGroup::qualify(const std::string &name) const
+{
+    return prefix_.empty() ? name : prefix_ + "." + name;
+}
+
+} // namespace uatm::obs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Hierarchical statistic registry, gem5-style.
+ *
+ * Components describe their counters once — name, description,
+ * unit — and register them here instead of (or alongside) their
+ * bespoke structs.  Three stat kinds exist:
+ *
+ *  - Scalar:       a sampled numeric value (counter snapshot);
+ *  - Formula:      a derived value evaluated lazily at dump time;
+ *  - Distribution: a RunningStats summary (count/mean/stddev/
+ *                  min/max), e.g. the wall-clock profile scopes.
+ *
+ * Names are dotted paths ("sim.fills", "stall.flush"); StatGroup
+ * provides scoped prefixes so components can register relative
+ * names.  Dumps come out as aligned key = value text or as a
+ * versioned JSON document (see docs/OBSERVABILITY.md).
+ */
+
+#ifndef UATM_OBS_REGISTRY_HH
+#define UATM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace uatm::obs {
+
+/** Bumped whenever the JSON stat-dump layout changes shape. */
+constexpr int kStatSchemaVersion = 1;
+
+enum class StatKind : std::uint8_t
+{
+    Scalar,
+    Formula,
+    Distribution,
+};
+
+const char *statKindName(StatKind kind);
+
+/** One registered statistic. */
+struct StatEntry
+{
+    std::string name;
+    std::string description;
+    std::string unit;
+    StatKind kind = StatKind::Scalar;
+
+    double scalar = 0.0;                ///< Scalar value
+    std::function<double()> formula;    ///< Formula evaluator
+    RunningStats distribution;          ///< Distribution summary
+
+    /** Scalar value, evaluated formula, or distribution mean. */
+    double valueNow() const;
+};
+
+class StatRegistry
+{
+  public:
+    /** Register a sampled scalar; duplicate names panic. */
+    void addScalar(const std::string &name, double value,
+                   const std::string &description,
+                   const std::string &unit = "");
+
+    /** Register a formula evaluated at every dump. */
+    void addFormula(const std::string &name,
+                    std::function<double()> formula,
+                    const std::string &description,
+                    const std::string &unit = "");
+
+    /** Register a distribution summary (copied). */
+    void addDistribution(const std::string &name,
+                         const RunningStats &distribution,
+                         const std::string &description,
+                         const std::string &unit = "");
+
+    bool contains(const std::string &name) const;
+
+    /** Entry by name; nullptr when absent. */
+    const StatEntry *find(const std::string &name) const;
+
+    /** Current value of the named stat; panics when absent. */
+    double value(const std::string &name) const;
+
+    /** All entries in registration order. */
+    const std::vector<StatEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Entries whose name starts with "prefix." (or equals it). */
+    std::vector<const StatEntry *>
+    childrenOf(const std::string &prefix) const;
+
+    std::size_t size() const { return entries_.size(); }
+    void clear();
+
+    /** Aligned "name = value  # unit: description" block. */
+    std::string formatText() const;
+
+    /**
+     * Versioned JSON dump:
+     * {"schema_version": N, "stats": {name: {kind, value, ...}}}.
+     */
+    std::string toJson() const;
+
+  private:
+    std::vector<StatEntry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+
+    StatEntry &emplace(const std::string &name,
+                       const std::string &description,
+                       const std::string &unit, StatKind kind);
+};
+
+/**
+ * Prefix-scoped view of a registry, for hierarchical registration:
+ *
+ *   StatGroup sim(registry, "sim");
+ *   sim.addScalar("fills", fills, "line fills issued");
+ *   sim.group("prefetch").addScalar("issued", n, "...");
+ */
+class StatGroup
+{
+  public:
+    StatGroup(StatRegistry &registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix))
+    {}
+
+    /** A nested group: this prefix + "." + @p name. */
+    StatGroup group(const std::string &name) const;
+
+    void
+    addScalar(const std::string &name, double value,
+              const std::string &description,
+              const std::string &unit = "") const
+    {
+        registry_.addScalar(qualify(name), value, description,
+                            unit);
+    }
+
+    void
+    addFormula(const std::string &name,
+               std::function<double()> formula,
+               const std::string &description,
+               const std::string &unit = "") const
+    {
+        registry_.addFormula(qualify(name), std::move(formula),
+                             description, unit);
+    }
+
+    void
+    addDistribution(const std::string &name,
+                    const RunningStats &distribution,
+                    const std::string &description,
+                    const std::string &unit = "") const
+    {
+        registry_.addDistribution(qualify(name), distribution,
+                                  description, unit);
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    StatRegistry &registry_;
+    std::string prefix_;
+
+    std::string qualify(const std::string &name) const;
+};
+
+} // namespace uatm::obs
+
+#endif // UATM_OBS_REGISTRY_HH

@@ -4,13 +4,22 @@
  *
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (a library bug), fatal() is for unusable user input
- * (bad configuration), warn()/inform() report conditions without
- * stopping execution.
+ * (bad configuration), warn()/inform()/debug() report conditions
+ * without stopping execution.
+ *
+ * Runtime filtering: UATM_LOG_LEVEL=quiet|warn|inform|debug (or
+ * setLogLevel()) picks the highest severity that still prints;
+ * the default is inform, so debug() is silent unless asked for.
+ * panic()/fatal() always print.  UATM_LOG_TIMESTAMPS=1 (or
+ * setLogTimestamps(true)) prefixes every line with an ISO-8601
+ * UTC timestamp for correlating long bench runs with external
+ * monitoring.
  */
 
 #ifndef UATM_UTIL_LOGGING_HH
 #define UATM_UTIL_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -19,10 +28,45 @@
 
 namespace uatm {
 
+/**
+ * Verbosity threshold, ordered so that a message prints when its
+ * level is <= the configured threshold.  Quiet silences
+ * everything except panic/fatal.
+ */
+enum class LogLevel : std::uint8_t
+{
+    Quiet = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Current threshold (initialised from UATM_LOG_LEVEL). */
+LogLevel logLevel();
+
+/** Override the threshold at runtime. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse "quiet"/"warn"/"inform"/"debug" (case-sensitive);
+ * returns @p fallback with a warning for anything else.
+ */
+LogLevel logLevelFromString(std::string_view name,
+                            LogLevel fallback = LogLevel::Inform);
+
+const char *logLevelName(LogLevel level);
+
+/** Whether log lines carry a UTC timestamp prefix. */
+bool logTimestamps();
+void setLogTimestamps(bool enabled);
+
 namespace detail {
 
 /** Compose the final log line and write it to stderr. */
 void emitMessage(std::string_view level, const std::string &msg);
+
+/** True when messages of @p level should print. */
+bool levelEnabled(LogLevel level);
 
 /** Fold a pack of streamable arguments into one string. */
 template <typename... Args>
@@ -69,6 +113,8 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
+    if (!detail::levelEnabled(LogLevel::Warn))
+        return;
     detail::emitMessage("warn", detail::foldMessage(
         std::forward<Args>(args)...));
 }
@@ -78,7 +124,20 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
+    if (!detail::levelEnabled(LogLevel::Inform))
+        return;
     detail::emitMessage("info", detail::foldMessage(
+        std::forward<Args>(args)...));
+}
+
+/** Report developer-facing detail (off by default). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    if (!detail::levelEnabled(LogLevel::Debug))
+        return;
+    detail::emitMessage("debug", detail::foldMessage(
         std::forward<Args>(args)...));
 }
 

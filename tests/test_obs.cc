@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Unit tests for the observability layer: JSON writer, stat
+ * registry, event tracer (incl. ring wraparound and the Chrome
+ * export), run manifests, wall-clock profiling, and the
+ * TimingStats drift guard that keeps counters(), registerStats()
+ * and the struct itself in sync.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cpu/timing_engine.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/profile.hh"
+#include "obs/registry.hh"
+#include "obs/trace_event.hh"
+#include "trace/generators.hh"
+
+namespace uatm {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// ------------------------------------------------------------ JsonWriter
+
+TEST(JsonWriter, NestedDocument)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.keyValue("n", 3);
+    w.key("list").beginArray().value(1).value(2.5).endArray();
+    w.key("child").beginObject().keyValue("s", "x").endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"n\":3,\"list\":[1,2.5],\"child\":{\"s\":\"x\"}}");
+}
+
+TEST(JsonWriter, EscapesControlAndQuotes)
+{
+    // escape() returns the fully quoted string literal.
+    EXPECT_EQ(obs::JsonWriter::escape("a\"b\\c\n"),
+              "\"a\\\"b\\\\c\\n\"");
+    EXPECT_EQ(obs::JsonWriter::escape(std::string("\x01", 1)),
+              "\"\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.keyValue("bad", std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"bad\":null}");
+}
+
+TEST(JsonWriter, BoolsRenderAsLiterals)
+{
+    obs::JsonWriter w;
+    w.beginArray().value(true).value(false).endArray();
+    EXPECT_EQ(w.str(), "[true,false]");
+}
+
+// ---------------------------------------------------------- StatRegistry
+
+TEST(StatRegistry, ScalarRegisterAndLookup)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("sim.cycles", 42.0, "total cycles", "cycles");
+    ASSERT_TRUE(reg.contains("sim.cycles"));
+    EXPECT_DOUBLE_EQ(reg.value("sim.cycles"), 42.0);
+    const obs::StatEntry *entry = reg.find("sim.cycles");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->unit, "cycles");
+    EXPECT_EQ(entry->kind, obs::StatKind::Scalar);
+    EXPECT_EQ(reg.find("absent"), nullptr);
+    EXPECT_FALSE(reg.contains("absent"));
+}
+
+TEST(StatRegistry, FormulaEvaluatesAtDumpTime)
+{
+    obs::StatRegistry reg;
+    double source = 1.0;
+    reg.addFormula("derived.x", [&source] { return source * 2; },
+                   "doubled");
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 2.0);
+    source = 5.0; // formulas are lazy, not snapshots
+    EXPECT_DOUBLE_EQ(reg.value("derived.x"), 10.0);
+}
+
+TEST(StatRegistry, DistributionKeepsMoments)
+{
+    RunningStats rs;
+    rs.add(1.0);
+    rs.add(3.0);
+    obs::StatRegistry reg;
+    reg.addDistribution("profile.run", rs, "wall clock",
+                        "seconds");
+    EXPECT_DOUBLE_EQ(reg.value("profile.run"), 2.0); // mean
+    const obs::StatEntry *entry = reg.find("profile.run");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->distribution.count(), 2u);
+}
+
+TEST(StatRegistry, ChildrenOfSelectsSubtree)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("stall.flush", 1.0, "");
+    reg.addScalar("stall.write", 2.0, "");
+    reg.addScalar("stallion", 3.0, ""); // NOT a child of "stall"
+    reg.addScalar("sim.fills", 4.0, "");
+    const auto kids = reg.childrenOf("stall");
+    ASSERT_EQ(kids.size(), 2u);
+    EXPECT_EQ(kids[0]->name, "stall.flush");
+    EXPECT_EQ(kids[1]->name, "stall.write");
+}
+
+TEST(StatRegistry, JsonDumpIsVersionedAndComplete)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("a.one", 1.5, "first", "cycles");
+    reg.addFormula("a.two", [] { return 7.0; }, "second");
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"schema_version\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"a.one\""), std::string::npos);
+    EXPECT_NE(json.find("\"a.two\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"formula\""),
+              std::string::npos);
+    EXPECT_NE(json.find("1.5"), std::string::npos);
+    EXPECT_NE(json.find("7"), std::string::npos);
+}
+
+TEST(StatRegistry, FormatTextMentionsUnitsAndDescriptions)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("sim.cycles", 9.0, "total cycles", "cycles");
+    const std::string text = reg.formatText();
+    EXPECT_NE(text.find("sim.cycles"), std::string::npos);
+    EXPECT_NE(text.find("total cycles"), std::string::npos);
+}
+
+TEST(StatGroup, PrefixesNestAndQualify)
+{
+    obs::StatRegistry reg;
+    obs::StatGroup root(reg, "engine");
+    root.group("sim").addScalar("fills", 3.0, "fills");
+    obs::StatGroup nested = root.group("a").group("b");
+    nested.addScalar("c", 1.0, "leaf");
+    EXPECT_TRUE(reg.contains("engine.sim.fills"));
+    EXPECT_TRUE(reg.contains("engine.a.b.c"));
+    // Empty prefix registers bare names.
+    obs::StatGroup bare(reg, "");
+    bare.addScalar("top", 2.0, "bare");
+    EXPECT_TRUE(reg.contains("top"));
+}
+
+// ----------------------------------------------------------- EventTracer
+
+TEST(EventTracer, DisabledRecordsNothing)
+{
+    obs::EventTracer tracer(8);
+    tracer.record("x", "cat", 0, 1);
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(EventTracer, RecordsWhenEnabled)
+{
+    obs::EventTracer tracer(8);
+    tracer.setEnabled(true);
+    tracer.record("fill", "fill", 10, 64, 0x1000);
+    tracer.record("stall", "stall", 74, 3);
+    ASSERT_EQ(tracer.size(), 2u);
+    const auto events = tracer.events();
+    EXPECT_STREQ(events[0].name, "fill");
+    EXPECT_EQ(events[0].start, 10u);
+    EXPECT_EQ(events[0].duration, 64u);
+    EXPECT_EQ(events[0].arg, 0x1000u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(EventTracer, RingWrapsOldestFirst)
+{
+    obs::EventTracer tracer(4);
+    tracer.setEnabled(true);
+    static const char *const names[] = {"e0", "e1", "e2",
+                                        "e3", "e4", "e5"};
+    for (std::uint64_t i = 0; i < 6; ++i)
+        tracer.record(names[i], "cat", i, 1);
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.recorded(), 6u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    // e0 and e1 were overwritten; oldest survivor comes first.
+    EXPECT_STREQ(events[0].name, "e2");
+    EXPECT_STREQ(events[3].name, "e5");
+    EXPECT_EQ(events[0].start, 2u);
+}
+
+TEST(EventTracer, ClearResetsCounters)
+{
+    obs::EventTracer tracer(2);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        tracer.record("e", "cat", i, 1);
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    EXPECT_TRUE(tracer.enabled()); // clear keeps the arm state
+}
+
+TEST(EventTracer, SetCapacityResizesRing)
+{
+    obs::EventTracer tracer(2);
+    EXPECT_EQ(tracer.capacity(), 2u);
+    tracer.setCapacity(16);
+    EXPECT_EQ(tracer.capacity(), 16u);
+    EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(EventTracer, ChromeJsonIsWellFormed)
+{
+    obs::EventTracer tracer(8);
+    tracer.setEnabled(true);
+    tracer.record("fill", "fill", 5, 64, 0xabc);
+    tracer.record("prefetch_issue", "prefetch", 9, 0);
+    const std::string json = tracer.toChromeJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"fill\""), std::string::npos);
+    // Interval events are "X" completes; zero-duration ones are
+    // instants.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // Thread-name metadata gives each category its own track.
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+}
+
+TEST(EventTracer, WriteChromeJsonRoundTrips)
+{
+    obs::EventTracer tracer(8);
+    tracer.setEnabled(true);
+    tracer.record("fill", "fill", 0, 10);
+    const std::string path = "/tmp/uatm_test_trace.json";
+    ASSERT_TRUE(tracer.writeChromeJson(path));
+    const std::string body = slurp(path);
+    EXPECT_EQ(body, tracer.toChromeJson());
+    std::remove(path.c_str());
+}
+
+TEST(EventTracer, WriteChromeJsonFailsGracefully)
+{
+    obs::EventTracer tracer(4);
+    EXPECT_FALSE(
+        tracer.writeChromeJson("/nonexistent-dir/trace.json"));
+}
+
+// ----------------------------------------------------- TimingStats drift
+
+/**
+ * Drift guard: every numeric TimingStats field must appear in
+ * counters() and round-trip through registerStats()/toJson().  The
+ * companion static_assert in timing_engine.cc pins the field
+ * count; this test pins the *names and values*.
+ */
+TEST(TimingStatsDrift, EveryFieldRoundTrips)
+{
+    TimingStats stats;
+    stats.cycles = 101;
+    stats.instructions = 102;
+    stats.references = 103;
+    stats.fills = 104;
+    stats.writeArounds = 105;
+    stats.initialMissWait = 106;
+    stats.inflightAccessStall = 107;
+    stats.missSerializationStall = 108;
+    stats.flushStall = 109;
+    stats.writeStall = 110;
+    stats.bufferFullStall = 111;
+    stats.portContentionWait = 112;
+    stats.prefetchesIssued = 113;
+    stats.prefetchesUseful = 114;
+    stats.prefetchesLate = 115;
+
+    const auto counters = stats.counters();
+    const auto entries = counters.entries();
+    // 15 numeric fields — matches the sizeof static_assert in
+    // timing_engine.cc.
+    ASSERT_EQ(entries.size(), 15u);
+
+    // Distinct sentinel values: any copy/paste slip in counters()
+    // (wrong field for a name) breaks exactly one of these.
+    std::uint64_t expected = 101;
+    for (const auto &[name, value] : entries) {
+        EXPECT_EQ(value, expected)
+            << "counter '" << name << "' mapped to the wrong "
+            << "TimingStats field";
+        ++expected;
+    }
+
+    // Every counter must appear, same name and value, in the stat
+    // registry and its JSON dump.
+    obs::StatRegistry reg;
+    stats.registerStats(reg, "engine", 8);
+    const std::string json = reg.toJson();
+    for (const auto &[name, value] : entries) {
+        const std::string qualified = "engine." + name;
+        ASSERT_TRUE(reg.contains(qualified))
+            << qualified << " missing from registerStats()";
+        EXPECT_DOUBLE_EQ(reg.value(qualified),
+                         static_cast<double>(value));
+        EXPECT_NE(json.find("\"" + qualified + "\""),
+                  std::string::npos)
+            << qualified << " missing from the JSON dump";
+    }
+
+    // Derived formulas ride along and agree with the methods.
+    EXPECT_DOUBLE_EQ(reg.value("engine.derived.cpi"),
+                     stats.cpi());
+    EXPECT_DOUBLE_EQ(reg.value("engine.derived.mean_memory_delay"),
+                     stats.meanMemoryDelay());
+    EXPECT_DOUBLE_EQ(reg.value("engine.derived.phi"),
+                     stats.phi(8));
+}
+
+TEST(TimingStatsDrift, PhiFormulaOnlyWithCycleTime)
+{
+    TimingStats stats;
+    obs::StatRegistry reg;
+    stats.registerStats(reg, "engine"); // mu_m omitted
+    EXPECT_FALSE(reg.contains("engine.derived.phi"));
+    EXPECT_TRUE(reg.contains("engine.derived.cpi"));
+}
+
+// -------------------------------------------------------------- Manifest
+
+TEST(Manifest, StampsSchemaToolAndGit)
+{
+    obs::Manifest m;
+    m.setTool("test_obs");
+    EXPECT_EQ(m.lookup("run", "tool"), "test_obs");
+    EXPECT_NE(m.lookup("run", "schema_version"), "");
+    EXPECT_NE(m.lookup("run", "git_describe"), "");
+    EXPECT_STRNE(obs::Manifest::gitDescribe(), "");
+}
+
+TEST(Manifest, SetLookupAndOverwrite)
+{
+    obs::Manifest m;
+    m.set("cache", "size_bytes", std::uint64_t{8192});
+    m.set("cache", "describe", "8KB 2-way");
+    m.set("cpu", "suppress_flush_traffic", true);
+    m.set("memory", "cycle_time", 12.0);
+    EXPECT_EQ(m.lookup("cache", "size_bytes"), "8192");
+    EXPECT_EQ(m.lookup("cache", "describe"), "8KB 2-way");
+    EXPECT_EQ(m.lookup("cpu", "suppress_flush_traffic"), "true");
+    EXPECT_EQ(m.lookup("absent", "key"), "");
+    const std::size_t before = m.size();
+    m.set("cache", "size_bytes", std::uint64_t{16384});
+    EXPECT_EQ(m.size(), before); // replaced, not duplicated
+    EXPECT_EQ(m.lookup("cache", "size_bytes"), "16384");
+}
+
+TEST(Manifest, JsonEmbedsStatsDump)
+{
+    obs::Manifest m;
+    obs::StatRegistry reg;
+    reg.addScalar("sim.cycles", 64.0, "cycles", "cycles");
+    m.setStats(reg);
+    const std::string json = m.toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"sim.cycles\""), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\""),
+              std::string::npos);
+}
+
+TEST(Manifest, WriteProducesReadableFile)
+{
+    obs::Manifest m;
+    m.set("workload", "profile", "doduc");
+    const std::string path = "/tmp/uatm_test_manifest.json";
+    m.write(path);
+    const std::string body = slurp(path);
+    EXPECT_EQ(body, m.toJson());
+    EXPECT_NE(body.find("\"doduc\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ ProfileRegistry
+
+TEST(ProfileRegistry, ScopedTimerFeedsNamedScope)
+{
+    auto &profile = obs::ProfileRegistry::instance();
+    profile.clear();
+    const bool was = profile.enabled();
+    profile.setEnabled(true);
+    {
+        UATM_PROFILE_SCOPE("test.scope");
+        UATM_PROFILE_SCOPE("test.other");
+    }
+    {
+        UATM_PROFILE_SCOPE("test.scope");
+    }
+    profile.setEnabled(was);
+
+    const auto scopes = profile.snapshot();
+    ASSERT_GE(scopes.size(), 2u);
+    bool found = false;
+    for (const auto &[name, rs] : scopes) {
+        if (name == "test.scope") {
+            found = true;
+            EXPECT_EQ(rs.count(), 2u);
+            EXPECT_GE(rs.min(), 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+
+    obs::StatRegistry reg;
+    profile.registerStats(reg, "profile");
+    EXPECT_TRUE(reg.contains("profile.test.scope"));
+    profile.clear();
+    EXPECT_TRUE(profile.snapshot().empty());
+}
+
+TEST(ProfileRegistry, DisabledTimerRecordsNothing)
+{
+    auto &profile = obs::ProfileRegistry::instance();
+    profile.clear();
+    const bool was = profile.enabled();
+    profile.setEnabled(false);
+    {
+        UATM_PROFILE_SCOPE("test.ghost");
+    }
+    profile.setEnabled(was);
+    for (const auto &[name, rs] : profile.snapshot())
+        EXPECT_NE(name, "test.ghost");
+}
+
+// ------------------------------------------------- engine integration
+
+TEST(EngineTracing, MissesEmitFillAndStallEvents)
+{
+    CacheConfig cache;
+    cache.sizeBytes = 256;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig cpu;
+    cpu.feature = StallFeature::FS;
+    TimingEngine engine(cache, mem, WriteBufferConfig{0, true},
+                        cpu);
+
+    obs::EventTracer tracer(1024);
+    tracer.setEnabled(true);
+    engine.setTracer(&tracer);
+
+    Trace t;
+    t.append(MemoryReference{0x000, 0, 4, RefKind::Load});
+    t.append(MemoryReference{0x100, 0, 4, RefKind::Load});
+    const auto stats = engine.run(t, 100);
+    engine.setTracer(nullptr); // restore the global default
+
+    EXPECT_EQ(stats.fills, 2u);
+    ASSERT_GT(tracer.size(), 0u);
+    bool saw_fill = false, saw_stall = false;
+    for (const auto &event : tracer.events()) {
+        saw_fill |= std::string_view(event.category) == "fill";
+        saw_stall |= std::string_view(event.category) == "stall";
+    }
+    EXPECT_TRUE(saw_fill);
+    EXPECT_TRUE(saw_stall);
+    // The trace exports cleanly.
+    const std::string json = tracer.toChromeJson();
+    EXPECT_NE(json.find("\"fill\""), std::string::npos);
+}
+
+TEST(EngineTracing, DisabledTracerCostsNoEvents)
+{
+    CacheConfig cache;
+    cache.sizeBytes = 256;
+    cache.assoc = 2;
+    cache.lineBytes = 32;
+    MemoryConfig mem;
+    mem.busWidthBytes = 4;
+    mem.cycleTime = 8;
+    CpuConfig cpu;
+    TimingEngine engine(cache, mem, WriteBufferConfig{0, true},
+                        cpu);
+
+    obs::EventTracer tracer(16); // disabled by default
+    engine.setTracer(&tracer);
+    Trace t;
+    t.append(MemoryReference{0x000, 0, 4, RefKind::Load});
+    engine.run(t, 10);
+    engine.setTracer(nullptr);
+    EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+} // namespace
+} // namespace uatm

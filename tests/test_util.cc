@@ -13,6 +13,7 @@
 
 #include "util/ascii_chart.hh"
 #include "util/csv.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -183,6 +184,64 @@ TEST(RunningStats, MergeIntoEmpty)
     EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmpty)
+{
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEmptyIntoPopulatedIsNoOp)
+{
+    RunningStats a, empty;
+    a.add(2.0);
+    a.add(6.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(RunningStats, MergePropagatesMinMaxBothDirections)
+{
+    RunningStats lo, hi;
+    lo.add(-5.0);
+    lo.add(0.0);
+    hi.add(3.0);
+    hi.add(42.0);
+
+    RunningStats a = lo;
+    a.merge(hi); // other side holds the max
+    EXPECT_DOUBLE_EQ(a.min(), -5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 42.0);
+
+    RunningStats b = hi;
+    b.merge(lo); // other side holds the min
+    EXPECT_DOUBLE_EQ(b.min(), -5.0);
+    EXPECT_DOUBLE_EQ(b.max(), 42.0);
+    EXPECT_EQ(b.count(), 4u);
+    EXPECT_DOUBLE_EQ(b.mean(), 10.0);
+}
+
+TEST(RunningStats, ResetReturnsToEmpty)
+{
+    RunningStats s;
+    s.add(7.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    RunningStats other;
+    other.add(1.0);
+    s.merge(other); // merging after reset behaves like fresh
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
 // ------------------------------------------------------------ Histogram
 
 TEST(Histogram, BinningAndEdges)
@@ -206,6 +265,42 @@ TEST(Histogram, QuantileInterpolates)
         h.add(i + 0.5);
     EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, OnlyOutOfRangeSamples)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(-0.0001);
+    h.add(10.0001);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_EQ(h.binCount(i), 0u);
+}
+
+TEST(Histogram, OverflowCountsInFractionDenominator)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.0);  // bin 1
+    h.add(99.0); // overflow
+    // Fractions are of *all* samples, so the regular bins sum to
+    // one half here.
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.5);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        sum += h.binFraction(i);
+    EXPECT_DOUBLE_EQ(sum, 0.5);
+}
+
+TEST(Histogram, ExactUpperEdgeOverflows)
+{
+    Histogram h(0.0, 8.0, 8);
+    h.add(8.0); // [lo, hi) — the upper edge is out
+    EXPECT_EQ(h.overflow(), 1u);
+    h.add(7.999999);
+    EXPECT_EQ(h.binCount(7), 1u);
 }
 
 TEST(Histogram, FractionsSumToOne)
@@ -360,6 +455,44 @@ TEST(OptionParser, UsageMentionsEveryOption)
     EXPECT_NE(usage.find("--alpha"), std::string::npos);
     EXPECT_NE(usage.find("--fast"), std::string::npos);
     EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    for (LogLevel level :
+         {LogLevel::Quiet, LogLevel::Warn, LogLevel::Inform,
+          LogLevel::Debug}) {
+        EXPECT_EQ(logLevelFromString(logLevelName(level)), level);
+    }
+    EXPECT_EQ(logLevelFromString("info"), LogLevel::Inform);
+    EXPECT_EQ(logLevelFromString("nonsense", LogLevel::Warn),
+              LogLevel::Warn);
+}
+
+TEST(Logging, SetLevelFiltersLowerSeverities)
+{
+    const LogLevel was = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(detail::levelEnabled(LogLevel::Warn));
+    EXPECT_FALSE(detail::levelEnabled(LogLevel::Inform));
+    EXPECT_FALSE(detail::levelEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(detail::levelEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_FALSE(detail::levelEnabled(LogLevel::Warn));
+    setLogLevel(was);
+}
+
+TEST(Logging, TimestampToggle)
+{
+    const bool was = logTimestamps();
+    setLogTimestamps(true);
+    EXPECT_TRUE(logTimestamps());
+    setLogTimestamps(false);
+    EXPECT_FALSE(logTimestamps());
+    setLogTimestamps(was);
 }
 
 } // namespace
