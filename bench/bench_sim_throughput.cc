@@ -1,104 +1,257 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the simulation substrate
- * itself: reference generation, functional cache access, and the
- * full timing engine, per stalling feature.  These guard the
- * usability of the harness (Figures 1 and 3-5 re-simulate the six
- * profiles at many operating points).
+ * Microbenchmarks for the simulation substrate itself, on the
+ * obs::BenchSuite harness: reference generation, functional cache
+ * access, the cache-size sweep, the write-buffer drain loop, the
+ * equivalence solver, and the full timing engine per stalling
+ * feature.  These guard the usability of the harness (Figures 1
+ * and 3-5 re-simulate the six profiles at many operating points)
+ * and feed the continuous-benchmark pipeline: every run writes
+ * BENCH_sim_throughput.json for tools/perf_diff to gate and
+ * tools/plot_figures.py --bench to trend.
+ *
+ *   bench_sim_throughput [--filter=<substr>] [--list] [--reps=<n>]
  */
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
 
 #include "cache/cache.hh"
+#include "cache/sweep.hh"
+#include "common.hh"
+#include "core/equivalence.hh"
 #include "cpu/timing_engine.hh"
+#include "memory/write_buffer.hh"
+#include "obs/bench.hh"
 #include "trace/generators.hh"
 
 namespace uatm {
 namespace {
 
-void
-BM_WorkingSetGeneration(benchmark::State &state)
-{
-    WorkingSetGenerator::Config config;
-    WorkingSetGenerator gen(config, Rng(1));
-    for (auto _ : state) {
-        auto ref = gen.next();
-        benchmark::DoNotOptimize(ref);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_WorkingSetGeneration);
+constexpr std::uint64_t kGenBatch = 1u << 16;
+constexpr std::uint64_t kAccessBatch = 1u << 16;
+constexpr std::uint64_t kEngineRefs = 10000;
 
 void
-BM_Spec92ProfileGeneration(benchmark::State &state)
+registerGeneratorBenchmarks(obs::BenchSuite &suite)
 {
-    auto gen = Spec92Profile::make("nasa7", 1);
-    for (auto _ : state) {
-        auto ref = gen->next();
-        benchmark::DoNotOptimize(ref);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
+    auto ws = std::make_shared<WorkingSetGenerator>(
+        WorkingSetGenerator::Config{}, Rng(1));
+    suite.add("gen/working_set", [ws](obs::BenchState &state) {
+        state.setItems(kGenBatch);
+        for (std::uint64_t i = 0; i < kGenBatch; ++i) {
+            auto ref = ws->next();
+            obs::doNotOptimize(ref);
+        }
+    });
+
+    std::shared_ptr<TraceSource> spec =
+        Spec92Profile::make("nasa7", 1);
+    suite.add("gen/spec92_nasa7", [spec](obs::BenchState &state) {
+        state.setItems(kGenBatch);
+        for (std::uint64_t i = 0; i < kGenBatch; ++i) {
+            auto ref = spec->next();
+            obs::doNotOptimize(ref);
+        }
+    });
 }
-BENCHMARK(BM_Spec92ProfileGeneration);
 
 void
-BM_CacheAccess(benchmark::State &state)
+registerCacheBenchmarks(obs::BenchSuite &suite)
 {
-    CacheConfig config;
-    config.sizeBytes = 8 * 1024;
-    config.assoc = static_cast<std::uint32_t>(state.range(0));
-    config.lineBytes = 32;
-    SetAssocCache cache(config);
-    cache.setColdTracking(false);
-    WorkingSetGenerator::Config ws;
-    WorkingSetGenerator gen(ws, Rng(7));
-    for (auto _ : state) {
-        auto outcome = cache.access(*gen.next());
-        benchmark::DoNotOptimize(outcome);
+    for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        CacheConfig config;
+        config.sizeBytes = 8 * 1024;
+        config.assoc = assoc;
+        config.lineBytes = 32;
+
+        // The cache and generator persist across reps so the
+        // stat-snapshot delta covers exactly the timed reps.
+        auto cache = std::make_shared<SetAssocCache>(config);
+        cache->setColdTracking(false);
+        auto gen = std::make_shared<WorkingSetGenerator>(
+            WorkingSetGenerator::Config{}, Rng(7));
+
+        const std::string name =
+            "cache/access/assoc=" + std::to_string(assoc);
+        suite.add(name, [cache, gen,
+                         line = config.lineBytes](
+                            obs::BenchState &state) {
+            state.setItems(kAccessBatch);
+            state.setStatsProvider(
+                [cache, line](obs::StatRegistry &registry) {
+                    cache->stats().registerStats(registry,
+                                                 "cache", line);
+                });
+            for (std::uint64_t i = 0; i < kAccessBatch; ++i) {
+                auto outcome = cache->access(*gen->next());
+                obs::doNotOptimize(outcome);
+            }
+        });
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()));
+
+    suite.add("cache/sweep_size", [](obs::BenchState &state) {
+        const std::vector<std::uint64_t> sizes = {
+            4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024};
+        const std::uint64_t refs = 20000;
+        CacheConfig base;
+        base.assoc = 2;
+        base.lineBytes = 32;
+        WorkingSetGenerator source(WorkingSetGenerator::Config{},
+                                   Rng(11));
+        state.setItems(sizes.size() * refs);
+        auto points = sweepCacheSize(base, source, sizes, refs);
+        obs::doNotOptimize(points);
+    });
 }
-BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
-BM_TimingEngine(benchmark::State &state)
+registerWriteBufferBenchmark(obs::BenchSuite &suite)
 {
-    const auto feature =
-        static_cast<StallFeature>(state.range(0));
-    CacheConfig cache;
-    cache.sizeBytes = 8 * 1024;
-    cache.assoc = 2;
-    cache.lineBytes = 32;
-    MemoryConfig mem;
-    mem.busWidthBytes = 4;
-    mem.cycleTime = 8;
-    CpuConfig cpu;
-    cpu.feature = feature;
-    TimingEngine engine(cache, mem, WriteBufferConfig{8, true},
-                        cpu);
-    auto workload = Spec92Profile::make("doduc", 3);
+    struct DrainRig
+    {
+        MemoryTiming timing{MemoryConfig{}};
+        MemoryScheduler scheduler{timing,
+                                  WriteBufferConfig{8, true}};
+        Cycles now = 0;
+    };
+    auto rig = std::make_shared<DrainRig>();
 
-    const std::uint64_t refs_per_iter = 10000;
-    for (auto _ : state) {
-        auto stats = engine.run(*workload, refs_per_iter);
-        benchmark::DoNotOptimize(stats);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(
-        state.iterations() * refs_per_iter));
-    state.SetLabel(
-        stallFeatureName(feature));
+    suite.add("wbuf/drain", [rig](obs::BenchState &state) {
+        constexpr std::uint64_t kWrites = 4096;
+        state.setItems(kWrites);
+        state.setStatsProvider(
+            [rig](obs::StatRegistry &registry) {
+                rig->scheduler.registerStats(registry, "wbuf");
+            });
+        const Cycles mu = rig->timing.config().cycleTime;
+        for (std::uint64_t i = 0; i < kWrites; ++i) {
+            // Writes arrive slightly faster than the port drains
+            // them, exercising both the queue and the full-buffer
+            // backpressure path.
+            rig->now += mu / 2 + 1;
+            const Cycles resume =
+                rig->scheduler.postWrite(rig->now, 32);
+            obs::doNotOptimize(resume);
+            rig->scheduler.drainTo(rig->now + mu);
+        }
+        rig->now = rig->scheduler.drainAllAfter(rig->now);
+    });
 }
-BENCHMARK(BM_TimingEngine)
-    ->Arg(static_cast<int>(StallFeature::FS))
-    ->Arg(static_cast<int>(StallFeature::BL))
-    ->Arg(static_cast<int>(StallFeature::BNL1))
-    ->Arg(static_cast<int>(StallFeature::BNL3))
-    ->Arg(static_cast<int>(StallFeature::NB));
+
+void
+registerEquivalenceBenchmark(obs::BenchSuite &suite)
+{
+    suite.add("core/equivalence", [](obs::BenchState &state) {
+        constexpr int kSolves = 512;
+        state.setItems(kSolves);
+        for (int i = 0; i < kSolves; ++i) {
+            DesignPoint base;
+            base.hitRatio = 0.90 + 0.0001 * (i % 800);
+            const DesignPoint improved =
+                equivalentDoubleBusDesign(base, 0.5);
+            obs::doNotOptimize(improved.hitRatio);
+        }
+    });
+}
+
+void
+registerEngineBenchmarks(obs::BenchSuite &suite)
+{
+    const StallFeature features[] = {
+        StallFeature::FS, StallFeature::BL, StallFeature::BNL1,
+        StallFeature::BNL3, StallFeature::NB};
+    for (StallFeature feature : features) {
+        CacheConfig cache;
+        cache.sizeBytes = 8 * 1024;
+        cache.assoc = 2;
+        cache.lineBytes = 32;
+        MemoryConfig mem;
+        mem.busWidthBytes = 4;
+        mem.cycleTime = 8;
+        CpuConfig cpu;
+        cpu.feature = feature;
+
+        struct EngineRig
+        {
+            EngineRig(const CacheConfig &cache,
+                      const MemoryConfig &mem,
+                      const CpuConfig &cpu)
+                : engine(cache, mem, WriteBufferConfig{8, true},
+                         cpu),
+                  workload(Spec92Profile::make("doduc", 3))
+            {}
+
+            TimingEngine engine;
+            std::unique_ptr<TraceSource> workload;
+            /** Work summed across reps for the stat delta. */
+            TimingStats total;
+        };
+        auto rig = std::make_shared<EngineRig>(cache, mem, cpu);
+
+        const std::string name = std::string("engine/step/") +
+                                 stallFeatureName(feature);
+        suite.add(name, [rig](obs::BenchState &state) {
+            state.setItems(kEngineRefs);
+            state.setStatsProvider(
+                [rig](obs::StatRegistry &registry) {
+                    rig->total.registerStats(registry, "engine");
+                });
+
+            const TimingStats stats =
+                rig->engine.run(*rig->workload, kEngineRefs);
+            obs::doNotOptimize(stats.cycles);
+
+            TimingStats &total = rig->total;
+            total.cycles += stats.cycles;
+            total.instructions += stats.instructions;
+            total.references += stats.references;
+            total.fills += stats.fills;
+            total.writeArounds += stats.writeArounds;
+            total.initialMissWait += stats.initialMissWait;
+            total.inflightAccessStall +=
+                stats.inflightAccessStall;
+            total.missSerializationStall +=
+                stats.missSerializationStall;
+            total.flushStall += stats.flushStall;
+            total.writeStall += stats.writeStall;
+            total.bufferFullStall += stats.bufferFullStall;
+            total.portContentionWait += stats.portContentionWait;
+            total.prefetchesIssued += stats.prefetchesIssued;
+            total.prefetchesUseful += stats.prefetchesUseful;
+            total.prefetchesLate += stats.prefetchesLate;
+        });
+    }
+}
 
 } // namespace
 } // namespace uatm
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace uatm;
+
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
+    obs::BenchSuite suite("sim_throughput");
+    registerGeneratorBenchmarks(suite);
+    registerCacheBenchmarks(suite);
+    registerWriteBufferBenchmark(suite);
+    registerEquivalenceBenchmark(suite);
+    registerEngineBenchmarks(suite);
+
+    obs::BenchSuite::RunOptions options;
+    options.filter = args.filter;
+    options.listOnly = args.listOnly;
+    options.reps = args.reps;
+
+    if (!options.listOnly) {
+        std::printf("sim_throughput microbenchmarks (%zu "
+                    "registered)\n",
+                    suite.size());
+    }
+    suite.run(options);
+    return 0;
+}

@@ -17,6 +17,32 @@
 
 namespace uatm::bench {
 
+BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--filter=", 0) == 0) {
+            args.filter = arg.substr(9);
+        } else if (arg == "--list") {
+            args.listOnly = true;
+        } else if (arg.rfind("--reps=", 0) == 0) {
+            const long long parsed =
+                std::atoll(arg.c_str() + 7);
+            if (parsed < 1)
+                fatal("invalid --reps value '", arg.substr(7),
+                      "' (need an integer >= 1)");
+            args.reps = static_cast<std::uint32_t>(parsed);
+        } else {
+            fatal("unknown argument '", arg, "'\nusage: ",
+                  argv[0],
+                  " [--filter=<substr>] [--list] [--reps=<n>]");
+        }
+    }
+    return args;
+}
+
 obs::Manifest &
 manifest()
 {
@@ -116,15 +142,21 @@ recordStats(const TimingStats &stats, Cycles mu_m)
 void
 exportCsv(const std::string &name, const TextTable &table)
 {
+    // Tolerate a trailing slash (UATM_BENCH_OUT="out/") and any
+    // embedded "./" noise: lexically_normal gives one canonical
+    // path per artifact, so log-scraping and docs agree on it.
     const char *env = std::getenv("UATM_BENCH_OUT");
-    const std::filesystem::path dir = env ? env : "bench_out";
+    const std::filesystem::path dir =
+        std::filesystem::path(env && *env ? env : "bench_out")
+            .lexically_normal();
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
         fatal("cannot create CSV output directory '", dir.string(),
               "': ", ec.message());
     }
-    const std::filesystem::path path = dir / (name + ".csv");
+    const std::filesystem::path path =
+        (dir / (name + ".csv")).lexically_normal();
     std::ofstream out(path);
     if (!out)
         fatal("cannot write CSV snapshot '", path.string(), "'");
@@ -137,7 +169,7 @@ exportCsv(const std::string &name, const TextTable &table)
 
     // The sibling manifest records what produced this CSV.
     const std::filesystem::path manifest_path =
-        dir / (name + ".manifest.json");
+        (dir / (name + ".manifest.json")).lexically_normal();
     obs::Manifest snapshot = manifest();
     snapshot.set("output", "csv", path.string());
     snapshot.set("output", "rows",

@@ -26,6 +26,25 @@
 namespace uatm::bench {
 
 /**
+ * Command-line options shared by the bench binaries, so CI and
+ * developers can run benchmark subsets without rebuilding:
+ *
+ *   --filter=<substr>  only run benchmarks whose name contains it
+ *   --list             print the (filtered) names and exit
+ *   --reps=<n>         timed repetitions for the micro harness
+ *
+ * parseArgs() fatal()s with a usage message on anything else.
+ */
+struct BenchArgs
+{
+    std::string filter;
+    bool listOnly = false;
+    std::uint32_t reps = 0;  ///< 0 = harness default
+};
+
+BenchArgs parseArgs(int argc, char **argv);
+
+/**
  * Print a banner naming the experiment and the paper artefact;
  * also stamps the run manifest with the experiment id.
  */

@@ -297,6 +297,8 @@ TimingEngine::issueFill(Cycles when, Addr line_addr, Addr addr,
                     fill.complete - fill.start, line_addr);
     inflight_.push_back(std::move(fill));
     ++stats.fills;
+    tracer_->recordCounter("fills", inflight_.back().start,
+                           stats.fills);
     return inflight_.back();
 }
 
@@ -555,6 +557,10 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
             tracer.record("initial_miss_wait", "stall",
                           fill.start, fill.complete - fill.start,
                           ref->addr);
+            tracer.recordCounter("stall_cycles", fill.complete,
+                                 stats.initialMissWait +
+                                     stats.inflightAccessStall +
+                                     stats.missSerializationStall);
             break;
           case StallFeature::NB:
             // Fire and forget; the consumer stalls later if it
@@ -570,6 +576,11 @@ TimingEngine::run(TraceSource &source, std::uint64_t max_refs)
                 tracer.record("initial_miss_wait", "stall",
                               fill.start, first_chunk - fill.start,
                               ref->addr);
+                tracer.recordCounter(
+                    "stall_cycles", first_chunk,
+                    stats.initialMissWait +
+                        stats.inflightAccessStall +
+                        stats.missSerializationStall);
             }
             break;
           }

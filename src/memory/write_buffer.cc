@@ -52,6 +52,7 @@ MemoryScheduler::drainTo(Cycles now)
         if (start >= now)
             break;
         busyUntil_ = start + timing_.config().cycleTime;
+        ++drainedChunks_;
         if (--front.chunksLeft == 0)
             queue_.pop_front();
     }
@@ -65,6 +66,7 @@ MemoryScheduler::drainAllAfter(Cycles now)
         const Cycles start =
             std::max({front.postedAt, busyUntil_, now});
         busyUntil_ = start + timing_.config().cycleTime;
+        ++drainedChunks_;
         if (--front.chunksLeft == 0)
             queue_.pop_front();
     }
@@ -113,6 +115,7 @@ MemoryScheduler::postWrite(Cycles now, std::uint32_t bytes)
             const Cycles start =
                 std::max({front.postedAt, busyUntil_, resume});
             busyUntil_ = start + timing_.config().cycleTime;
+            ++drainedChunks_;
             --front.chunksLeft;
         }
         queue_.pop_front();
@@ -146,6 +149,10 @@ MemoryScheduler::registerStats(obs::StatRegistry &registry,
     root.addScalar("buffer_full_events",
                    static_cast<double>(fullEvents_),
                    "CPU stalls on a full write buffer", "count");
+    root.addScalar("drained_chunks",
+                   static_cast<double>(drainedChunks_),
+                   "buffered write chunks retired onto the bus",
+                   "count");
     root.addScalar("pending_writes",
                    static_cast<double>(queue_.size()),
                    "writes still queued at dump time", "count");
@@ -158,6 +165,7 @@ MemoryScheduler::reset()
     queue_.clear();
     readWaitCycles_ = 0;
     fullEvents_ = 0;
+    drainedChunks_ = 0;
 }
 
 } // namespace uatm

@@ -99,6 +99,9 @@ class MemoryScheduler
     /** Times the CPU stalled because the buffer was full. */
     std::uint64_t bufferFullEvents() const { return fullEvents_; }
 
+    /** Buffered write chunks retired onto the bus so far. */
+    std::uint64_t drainedChunks() const { return drainedChunks_; }
+
     /**
      * Register the scheduler counters (and the write-buffer
      * configuration) under @p prefix, e.g. "wbuf".
@@ -122,6 +125,7 @@ class MemoryScheduler
     std::deque<PendingWrite> queue_;
     Cycles readWaitCycles_ = 0;
     std::uint64_t fullEvents_ = 0;
+    std::uint64_t drainedChunks_ = 0;
 
     Cycles transferTime(std::uint32_t bytes) const;
     std::uint32_t chunksFor(std::uint32_t bytes) const;

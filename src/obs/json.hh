@@ -1,12 +1,19 @@
 /**
  * @file
- * Minimal streaming JSON writer used by the observability layer
- * (stat dumps, Chrome trace files, run manifests).
+ * Minimal JSON support used by the observability layer (stat
+ * dumps, Chrome trace files, run manifests, benchmark records).
  *
- * Deliberately tiny: no DOM, no parsing, just balanced emission
- * with correct escaping and locale-independent number formatting.
- * Misuse (value without key inside an object, unbalanced nesting)
- * trips UATM_ASSERT rather than producing broken output.
+ * Two halves:
+ *
+ *  - JsonWriter: streaming emission with correct escaping and
+ *    locale-independent number formatting.  Misuse (value without
+ *    key inside an object, unbalanced nesting) trips UATM_ASSERT
+ *    rather than producing broken output.
+ *  - parseJson/JsonValue: a strict recursive-descent reader for
+ *    the documents the writer produces (and any other RFC 8259
+ *    text), powering tools/perf_diff and round-trip tests.  Parse
+ *    failures are reported with a byte offset, never an assert —
+ *    input files are user data.
  */
 
 #ifndef UATM_OBS_JSON_HH
@@ -83,6 +90,92 @@ class JsonWriter
 
     void beforeValue();
 };
+
+/**
+ * One parsed JSON value.  Accessors assert the kind matches (a
+ * schema violation in our own files is a bug worth a loud stop);
+ * use the kind predicates or find() for optional fields.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements (asserts isArray()). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order (asserts isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Array length / object member count; 0 otherwise. */
+    std::size_t size() const;
+
+    /** Object member by key; nullptr when absent or not an
+     *  object.  The first member wins on duplicate keys. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member by key; asserts presence. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Array element by index; asserts bounds. */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Number if the member exists and is one, else @p fallback. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** String if the member exists and is one, else @p fallback. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Outcome of parseJson(): a value or a positioned error. */
+struct JsonParseResult
+{
+    bool ok = false;
+    JsonValue value;
+    std::string error;  ///< "byte N: message" when !ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Parse one JSON document (leading/trailing whitespace allowed,
+ * nothing else may follow).  Strict RFC 8259: no comments, no
+ * trailing commas; \uXXXX escapes (including surrogate pairs)
+ * decode to UTF-8.  Nesting deeper than 256 levels is rejected.
+ */
+JsonParseResult parseJson(std::string_view text);
 
 } // namespace uatm::obs
 

@@ -6,6 +6,7 @@
 #include "obs/registry.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "obs/json.hh"
@@ -189,6 +190,144 @@ StatRegistry::toJson() const
     w.endObject();
     w.endObject();
     return w.str();
+}
+
+namespace {
+
+/** Map a dotted stat path onto a legal Prometheus metric name. */
+std::string
+promSanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool legal =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+            c == ':';
+        out += legal ? c : '_';
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
+/** Escape a label value: backslash, double quote, newline. */
+std::string
+promEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Escape HELP text: backslash and newline only (no quotes). */
+std::string
+promEscapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Exposition number rendering (NaN/+Inf/-Inf spelled out). */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return JsonWriter::formatNumber(v);
+}
+
+/** "_<unit>" suffix for the metric name; "" for unitless units. */
+std::string
+promUnitSuffix(const std::string &unit)
+{
+    if (unit.empty() || unit == "count" || unit == "bool")
+        return "";
+    return "_" + promSanitize(unit);
+}
+
+/** Render {a="x",b="y"} from base labels + extras; "" if none. */
+std::string
+promLabelBlock(
+    const std::vector<std::pair<std::string, std::string>> &labels,
+    const std::vector<std::pair<std::string, std::string>> &extra =
+        {})
+{
+    if (labels.empty() && extra.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto *set : {&labels, &extra}) {
+        for (const auto &[name, value] : *set) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += promSanitize(name) + "=\"" +
+                   promEscapeLabel(value) + "\"";
+        }
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+std::string
+StatRegistry::dumpPrometheus(
+    const std::string &prefix,
+    const std::vector<std::pair<std::string, std::string>> &labels)
+    const
+{
+    std::ostringstream os;
+    const std::string base = promLabelBlock(labels);
+    for (const auto &entry : entries_) {
+        const std::string metric = promSanitize(prefix) + "_" +
+                                   promSanitize(entry.name) +
+                                   promUnitSuffix(entry.unit);
+        const bool summary =
+            entry.kind == StatKind::Distribution;
+        os << "# HELP " << metric << ' '
+           << promEscapeHelp(entry.description.empty()
+                                 ? entry.name
+                                 : entry.description)
+           << '\n';
+        os << "# TYPE " << metric << ' '
+           << (summary ? "summary" : "gauge") << '\n';
+        if (!summary) {
+            os << metric << base << ' '
+               << promNumber(entry.valueNow()) << '\n';
+            continue;
+        }
+        const RunningStats &d = entry.distribution;
+        os << metric << promLabelBlock(labels, {{"quantile", "0"}})
+           << ' ' << promNumber(d.count() ? d.min() : 0.0) << '\n';
+        os << metric << promLabelBlock(labels, {{"quantile", "1"}})
+           << ' ' << promNumber(d.count() ? d.max() : 0.0) << '\n';
+        os << metric << "_sum" << base << ' '
+           << promNumber(d.mean() *
+                         static_cast<double>(d.count()))
+           << '\n';
+        os << metric << "_count" << base << ' '
+           << promNumber(static_cast<double>(d.count())) << '\n';
+    }
+    return os.str();
 }
 
 StatGroup

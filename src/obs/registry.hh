@@ -108,6 +108,24 @@ class StatRegistry
      */
     std::string toJson() const;
 
+    /**
+     * Prometheus text exposition (format 0.0.4) of every entry.
+     *
+     * Dotted stat names become `<prefix>_<name>` metric names with
+     * '.' (and any other invalid character) mapped to '_', plus a
+     * unit suffix derived from the stat's unit ("cycles" ->
+     * "_cycles"; the unitless "count"/"bool" add nothing).  Each
+     * sample carries @p labels verbatim, with label values escaped
+     * per the exposition rules (backslash, double quote, newline).
+     * Scalars and formulas emit as gauges with a HELP/TYPE pair;
+     * distributions emit as summaries (quantile 0/1 = min/max,
+     * plus _sum and _count).
+     */
+    std::string dumpPrometheus(
+        const std::string &prefix = "uatm",
+        const std::vector<std::pair<std::string, std::string>>
+            &labels = {}) const;
+
   private:
     std::vector<StatEntry> entries_;
     std::unordered_map<std::string, std::size_t> index_;

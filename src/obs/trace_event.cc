@@ -69,12 +69,15 @@ std::string
 EventTracer::toChromeJson() const
 {
     // Stable tid per category so each stall class gets its own
-    // track in the viewer.
+    // track in the viewer.  Counter samples attach to the process
+    // (their track is named by the event, not a thread).
     std::map<std::string, int> tids;
     const auto all = events();
-    for (const auto &event : all)
-        tids.emplace(event.category,
-                     static_cast<int>(tids.size()) + 1);
+    for (const auto &event : all) {
+        if (!event.counter)
+            tids.emplace(event.category,
+                         static_cast<int>(tids.size()) + 1);
+    }
 
     JsonWriter w;
     w.beginObject();
@@ -104,8 +107,17 @@ EventTracer::toChromeJson() const
         w.beginObject()
             .keyValue("name", event.name)
             .keyValue("cat", event.category)
-            .keyValue("pid", 0)
-            .keyValue("tid", tids.at(event.category))
+            .keyValue("pid", 0);
+        if (event.counter) {
+            w.keyValue("ts", event.start)
+                .keyValue("ph", "C")
+                .key("args").beginObject()
+                .keyValue("value", event.arg)
+                .endObject()
+                .endObject();
+            continue;
+        }
+        w.keyValue("tid", tids.at(event.category))
             .keyValue("ts", event.start);
         if (event.duration == 0) {
             w.keyValue("ph", "i").keyValue("s", "t");

@@ -35,8 +35,8 @@ namespace uatm::obs {
 constexpr int kTraceSchemaVersion = 1;
 
 /**
- * One traced interval.  Name/category must be string literals (the
- * tracer stores the pointers, not copies).
+ * One traced interval or counter sample.  Name/category must be
+ * string literals (the tracer stores the pointers, not copies).
  */
 struct TraceEvent
 {
@@ -44,7 +44,10 @@ struct TraceEvent
     const char *category = nullptr;
     std::uint64_t start = 0;     ///< begin, in CPU cycles
     std::uint64_t duration = 0;  ///< length; 0 = instant event
-    std::uint64_t arg = 0;       ///< e.g. the line address
+    std::uint64_t arg = 0;       ///< line address, or the counter value
+    /** Counter sample ("ph":"C"): arg is the series value at
+     *  start, rendered as a counter track in the viewer. */
+    bool counter = false;
 };
 
 class EventTracer
@@ -75,6 +78,31 @@ class EventTracer
         slot.start = start;
         slot.duration = duration;
         slot.arg = arg;
+        slot.counter = false;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++recorded_;
+    }
+
+    /**
+     * Record one counter sample: the cumulative @p value of the
+     * series @p name at time @p ts.  Exported as a "ph":"C" event,
+     * which Perfetto/chrome://tracing render as a counter track
+     * alongside the interval tracks.  Inline no-op while disabled.
+     */
+    void
+    recordCounter(const char *name, std::uint64_t ts,
+                  std::uint64_t value,
+                  const char *category = "counter")
+    {
+        if (!enabled_)
+            return;
+        TraceEvent &slot = ring_[head_];
+        slot.name = name;
+        slot.category = category;
+        slot.start = ts;
+        slot.duration = 0;
+        slot.arg = value;
+        slot.counter = true;
         head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
         ++recorded_;
     }

@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for the observability layer: JSON writer, stat
- * registry, event tracer (incl. ring wraparound and the Chrome
- * export), run manifests, wall-clock profiling, and the
- * TimingStats drift guard that keeps counters(), registerStats()
- * and the struct itself in sync.
+ * Unit tests for the observability layer: JSON writer and parser,
+ * stat registry (incl. Prometheus exposition), event tracer
+ * (incl. ring wraparound, counter tracks, and the Chrome export),
+ * run manifests, wall-clock profiling, the benchmark harness +
+ * perf_diff comparator, and the TimingStats drift guard that
+ * keeps counters(), registerStats() and the struct itself in
+ * sync.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 #include <sstream>
 
 #include "cpu/timing_engine.hh"
+#include "obs/bench.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/profile.hh"
@@ -272,6 +275,187 @@ TEST(EventTracer, WriteChromeJsonFailsGracefully)
         tracer.writeChromeJson("/nonexistent-dir/trace.json"));
 }
 
+TEST(EventTracer, CounterEventsRoundTripAsCounterTrack)
+{
+    obs::EventTracer tracer(8);
+    tracer.setEnabled(true);
+    tracer.record("fill", "fill", 0, 10);
+    tracer.recordCounter("fills", 10, 1);
+    tracer.recordCounter("fills", 25, 2);
+    const auto parsed = obs::parseJson(tracer.toChromeJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const obs::JsonValue *events =
+        parsed.value.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::size_t counters = 0;
+    double last_value = -1.0;
+    for (const obs::JsonValue &event : events->items()) {
+        if (event.stringOr("ph", "") != "C")
+            continue;
+        ++counters;
+        EXPECT_EQ(event.stringOr("name", ""), "fills");
+        const obs::JsonValue *args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        last_value = args->numberOr("value", -1.0);
+    }
+    EXPECT_EQ(counters, 2u);
+    EXPECT_DOUBLE_EQ(last_value, 2.0);
+}
+
+TEST(EventTracer, DisabledCounterRecordsNothing)
+{
+    obs::EventTracer tracer(8);
+    tracer.recordCounter("fills", 0, 1);
+    EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+// ------------------------------------------------------------ JsonParser
+
+TEST(JsonParser, ParsesNestedDocument)
+{
+    const auto parsed = obs::parseJson(
+        "{\"n\": 3, \"list\": [1, 2.5, true, null], "
+        "\"child\": {\"s\": \"x\"}}");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const obs::JsonValue &root = parsed.value;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_DOUBLE_EQ(root.numberOr("n", 0.0), 3.0);
+    const obs::JsonValue *list = root.find("list");
+    ASSERT_NE(list, nullptr);
+    ASSERT_TRUE(list->isArray());
+    ASSERT_EQ(list->size(), 4u);
+    EXPECT_DOUBLE_EQ(list->at(1).asNumber(), 2.5);
+    EXPECT_TRUE(list->at(2).asBool());
+    EXPECT_TRUE(list->at(3).isNull());
+    EXPECT_EQ(root.at("child").stringOr("s", ""), "x");
+}
+
+TEST(JsonParser, RoundTripsWriterEscapes)
+{
+    // Whatever the writer escapes, the parser must recover.
+    const std::string nasty = "a\"b\\c\nd\te\x01";
+    obs::JsonWriter w;
+    w.beginObject().keyValue("s", nasty).endObject();
+    const auto parsed = obs::parseJson(w.str());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.stringOr("s", ""), nasty);
+}
+
+TEST(JsonParser, DecodesUnicodeEscapes)
+{
+    const auto parsed =
+        obs::parseJson("[\"\\u0041\", \"\\uD83D\\uDE00\"]");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.at(0).asString(), "A");
+    // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+    EXPECT_EQ(parsed.value.at(1).asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParser, RejectsMalformedInputWithPosition)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\" 1}", "tru", "1.2.3",
+          "\"unterminated", "{\"a\":1} trailing"}) {
+        const auto parsed = obs::parseJson(bad);
+        EXPECT_FALSE(parsed.ok) << "accepted: " << bad;
+        EXPECT_NE(parsed.error.find("byte "), std::string::npos)
+            << "error lacks a position: " << parsed.error;
+    }
+}
+
+// ------------------------------------------------- Prometheus exposition
+
+TEST(Prometheus, GaugeWithHelpTypeAndUnitSuffix)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("sim.cycles", 42.0, "total cycles", "cycles");
+    reg.addScalar("sim.fills", 7.0, "", "count");
+    const std::string text = reg.dumpPrometheus();
+    // Dotted name sanitized, unit appended; "count" units don't
+    // grow a suffix.
+    EXPECT_NE(text.find("# HELP uatm_sim_cycles_cycles "
+                        "total cycles\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE uatm_sim_cycles_cycles gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("uatm_sim_cycles_cycles 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("uatm_sim_fills 7\n"), std::string::npos);
+    // Empty description falls back to the stat name.
+    EXPECT_NE(text.find("# HELP uatm_sim_fills sim.fills\n"),
+              std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("x", 1.0, "desc");
+    const std::string text = reg.dumpPrometheus(
+        "uatm", {{"path", "a\\b"},
+                 {"quote", "say \"hi\""},
+                 {"multi", "line1\nline2"}});
+    EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+    EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("multi=\"line1\\nline2\""),
+              std::string::npos);
+    // The raw newline must not survive inside the label block.
+    EXPECT_EQ(text.find("line1\nline2"), std::string::npos);
+}
+
+TEST(Prometheus, DistributionBecomesSummary)
+{
+    RunningStats rs;
+    rs.add(2.0);
+    rs.add(6.0);
+    obs::StatRegistry reg;
+    reg.addDistribution("profile.run", rs, "wall", "seconds");
+    const std::string text = reg.dumpPrometheus();
+    EXPECT_NE(
+        text.find("# TYPE uatm_profile_run_seconds summary\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("{quantile=\"0\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("{quantile=\"1\"} 6\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("uatm_profile_run_seconds_sum 8\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("uatm_profile_run_seconds_count 2\n"),
+              std::string::npos);
+}
+
+TEST(Prometheus, EveryLineIsHelpTypeOrSample)
+{
+    obs::StatRegistry reg;
+    reg.addScalar("a.b", 1.5, "first", "cycles");
+    reg.addFormula("c", [] { return 2.0; }, "second");
+    RunningStats rs;
+    rs.add(1.0);
+    reg.addDistribution("d", rs, "third");
+    std::istringstream in(
+        reg.dumpPrometheus("uatm", {{"run", "r1"}}));
+    std::string line;
+    std::size_t samples = 0;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line.rfind("# HELP ", 0) == 0 ||
+            line.rfind("# TYPE ", 0) == 0)
+            continue;
+        // sample line: <name>[{labels}] <value>
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_NE(line.substr(0, space).find("uatm_"),
+                  std::string::npos)
+            << line;
+        ++samples;
+    }
+    // 2 gauges + 4 summary lines for the distribution.
+    EXPECT_EQ(samples, 6u);
+}
+
 // ----------------------------------------------------- TimingStats drift
 
 /**
@@ -453,6 +637,343 @@ TEST(ProfileRegistry, DisabledTimerRecordsNothing)
     profile.setEnabled(was);
     for (const auto &[name, rs] : profile.snapshot())
         EXPECT_NE(name, "test.ghost");
+}
+
+// ------------------------------------------------------- BenchSuite
+
+TEST(BenchSuite, RunsAndRecordsResults)
+{
+    obs::BenchSuite suite("unit");
+    std::uint64_t calls = 0;
+    suite.add("counting", [&calls](obs::BenchState &state) {
+        state.setItems(4);
+        ++calls;
+        // Enough work that steady_clock sees a nonzero duration.
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; i < 50000; ++i)
+            acc += i * i;
+        obs::doNotOptimize(acc);
+    });
+    obs::BenchSuite::RunOptions options;
+    options.reps = 3;
+    options.warmup = 1;
+    options.writeJson = false;
+    EXPECT_EQ(suite.run(options), 1u);
+    EXPECT_EQ(calls, 4u); // 1 warmup + 3 timed
+    ASSERT_EQ(suite.results().size(), 1u);
+    const obs::BenchResult &result = suite.results()[0];
+    EXPECT_EQ(result.name, "counting");
+    EXPECT_EQ(result.reps, 3u);
+    EXPECT_EQ(result.itemsPerRep, 4u);
+    EXPECT_GT(result.nsPerRepMedian, 0.0);
+    EXPECT_GT(result.itemsPerSecond(), 0.0);
+}
+
+TEST(BenchSuite, FilterAndListRunNothing)
+{
+    obs::BenchSuite suite("unit");
+    bool ran = false;
+    suite.add("cache/access", [&ran](obs::BenchState &) {
+        ran = true;
+    });
+    suite.add("engine/step", [](obs::BenchState &) {});
+
+    obs::BenchSuite::RunOptions options;
+    options.writeJson = false;
+    options.reps = 1;
+    options.filter = "engine";
+    EXPECT_EQ(suite.run(options), 1u);
+    EXPECT_FALSE(ran); // filtered out
+
+    options.filter.clear();
+    options.listOnly = true;
+    EXPECT_EQ(suite.run(options), 2u);
+    EXPECT_FALSE(ran); // listed, not executed
+}
+
+TEST(BenchSuite, StatDeltaCoversTimedRepsOnly)
+{
+    obs::BenchSuite suite("unit");
+    double counter = 0.0;
+    suite.add("delta", [&counter](obs::BenchState &state) {
+        state.setItems(1);
+        state.setStatsProvider(
+            [&counter](obs::StatRegistry &reg) {
+                reg.addScalar("work.done", counter, "");
+            });
+        counter += 10.0;
+    });
+    obs::BenchSuite::RunOptions options;
+    options.reps = 5;
+    options.warmup = 2;
+    options.writeJson = false;
+    suite.run(options);
+    ASSERT_EQ(suite.results().size(), 1u);
+    const auto &delta = suite.results()[0].statDelta;
+    ASSERT_EQ(delta.size(), 1u);
+    EXPECT_EQ(delta[0].first, "work.done");
+    // 5 timed reps x 10, warmup excluded.
+    EXPECT_DOUBLE_EQ(delta[0].second, 50.0);
+}
+
+TEST(BenchSuite, JsonCarriesSchemaAndStatDelta)
+{
+    obs::BenchSuite suite("unit");
+    suite.add("j", [](obs::BenchState &state) {
+        state.setItems(2);
+        state.setStatsProvider([](obs::StatRegistry &reg) {
+            reg.addScalar("x", 1.0, "");
+        });
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; i < 50000; ++i)
+            acc += i * i;
+        obs::doNotOptimize(acc);
+    });
+    obs::BenchSuite::RunOptions options;
+    options.reps = 2;
+    options.writeJson = false;
+    suite.run(options);
+    const auto parsed = obs::parseJson(suite.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const obs::JsonValue &doc = parsed.value;
+    EXPECT_DOUBLE_EQ(doc.numberOr("schema_version", 0.0),
+                     obs::kBenchSchemaVersion);
+    EXPECT_EQ(doc.stringOr("suite", ""), "unit");
+    EXPECT_FALSE(doc.stringOr("git_describe", "").empty());
+    const obs::JsonValue *list = doc.find("benchmarks");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 1u);
+    const obs::JsonValue &record = list->at(0);
+    EXPECT_EQ(record.stringOr("name", ""), "j");
+    EXPECT_DOUBLE_EQ(record.numberOr("reps", 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(record.numberOr("items_per_rep", 0.0), 2.0);
+    ASSERT_NE(record.find("ns_per_rep"), nullptr);
+    EXPECT_GT(record.at("ns_per_rep").numberOr("median", 0.0),
+              0.0);
+    EXPECT_GT(record.numberOr("ns_per_op", 0.0), 0.0);
+    EXPECT_GT(record.numberOr("items_per_second", 0.0), 0.0);
+    const obs::JsonValue *stat_delta = record.find("stat_delta");
+    ASSERT_NE(stat_delta, nullptr);
+    EXPECT_TRUE(stat_delta->isObject());
+    EXPECT_NE(stat_delta->find("x"), nullptr);
+}
+
+// --------------------------------------------------- perf comparator
+
+namespace perfdoc {
+
+/** One synthetic BENCH_*.json record. */
+struct Record
+{
+    const char *name;
+    double nsPerOp;
+    double madPerRep;
+    double itemsPerRep = 1.0;
+};
+
+obs::JsonValue
+make(const std::vector<Record> &records)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema_version", obs::kBenchSchemaVersion);
+    w.keyValue("suite", "synthetic");
+    w.keyValue("git_describe", "test");
+    w.key("benchmarks").beginArray();
+    for (const Record &r : records) {
+        w.beginObject();
+        w.keyValue("name", r.name);
+        w.keyValue("items_per_rep", r.itemsPerRep);
+        w.key("ns_per_rep")
+            .beginObject()
+            .keyValue("median", r.nsPerOp * r.itemsPerRep)
+            .keyValue("mad", r.madPerRep)
+            .endObject();
+        w.keyValue("ns_per_op", r.nsPerOp);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    const auto parsed = obs::parseJson(w.str());
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.value;
+}
+
+} // namespace perfdoc
+
+TEST(PerfDiff, IdenticalRunsHaveNoRegressions)
+{
+    const auto doc = perfdoc::make(
+        {{"a", 100.0, 1.0}, {"b", 5.0, 0.1}});
+    const auto deltas = obs::comparePerf(doc, doc);
+    ASSERT_EQ(deltas.size(), 2u);
+    for (const auto &delta : deltas) {
+        EXPECT_EQ(delta.verdict,
+                  obs::PerfDelta::Verdict::Similar);
+        EXPECT_DOUBLE_EQ(delta.ratio(), 1.0);
+    }
+    EXPECT_EQ(obs::countRegressions(deltas), 0u);
+}
+
+TEST(PerfDiff, FlagsClearRegressionAndImprovement)
+{
+    const auto before = perfdoc::make(
+        {{"slows", 100.0, 1.0}, {"speeds", 100.0, 1.0}});
+    const auto after = perfdoc::make(
+        {{"slows", 200.0, 1.0}, {"speeds", 50.0, 1.0}});
+    const auto deltas = obs::comparePerf(before, after);
+    ASSERT_EQ(deltas.size(), 2u);
+    EXPECT_EQ(deltas[0].verdict,
+              obs::PerfDelta::Verdict::Regressed);
+    EXPECT_DOUBLE_EQ(deltas[0].ratio(), 2.0);
+    EXPECT_EQ(deltas[1].verdict,
+              obs::PerfDelta::Verdict::Improved);
+    EXPECT_EQ(obs::countRegressions(deltas), 1u);
+
+    // The table names every benchmark and its verdict.
+    const std::string table = obs::formatPerfTable(deltas);
+    EXPECT_NE(table.find("slows"), std::string::npos);
+    // Regressions shout; everything else stays lowercase.
+    EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+    EXPECT_NE(table.find("improved"), std::string::npos);
+}
+
+TEST(PerfDiff, NoisyChangeWithinMadThresholdIsSimilar)
+{
+    // +20% change, but the MAD says the run wobbles by ~10 ns/op;
+    // 4 sigmas x 1.4826 x 10 ≈ 59 ns absorbs it.
+    const auto before = perfdoc::make({{"noisy", 100.0, 10.0}});
+    const auto after = perfdoc::make({{"noisy", 120.0, 10.0}});
+    const auto deltas = obs::comparePerf(before, after);
+    ASSERT_EQ(deltas.size(), 1u);
+    EXPECT_EQ(deltas[0].verdict,
+              obs::PerfDelta::Verdict::Similar);
+
+    // The same +20% on a quiet benchmark is a real regression.
+    const auto quiet_before =
+        perfdoc::make({{"quiet", 100.0, 0.01}});
+    const auto quiet_after =
+        perfdoc::make({{"quiet", 120.0, 0.01}});
+    const auto quiet =
+        obs::comparePerf(quiet_before, quiet_after);
+    EXPECT_EQ(quiet[0].verdict,
+              obs::PerfDelta::Verdict::Regressed);
+}
+
+TEST(PerfDiff, UniformSuiteDriftIsNormalizedOut)
+{
+    // The whole suite got 18% "slower" — that's the machine, not
+    // the code, and the median-ratio normalization absorbs it.
+    const auto before = perfdoc::make({{"a", 100.0, 0.1},
+                                       {"b", 50.0, 0.1},
+                                       {"c", 200.0, 0.1},
+                                       {"d", 10.0, 0.1}});
+    const auto after = perfdoc::make({{"a", 118.0, 0.1},
+                                      {"b", 59.0, 0.1},
+                                      {"c", 236.0, 0.1},
+                                      {"d", 11.8, 0.1}});
+    const auto deltas = obs::comparePerf(before, after);
+    EXPECT_EQ(obs::countRegressions(deltas), 0u);
+    for (const auto &delta : deltas) {
+        EXPECT_EQ(delta.verdict,
+                  obs::PerfDelta::Verdict::Similar);
+        EXPECT_NEAR(delta.appliedDrift, 1.18, 1e-9);
+    }
+
+    // Opting out gates on the raw times again.
+    obs::PerfDiffOptions raw;
+    raw.normalizeDrift = false;
+    EXPECT_EQ(obs::countRegressions(
+                  obs::comparePerf(before, after, raw)),
+              4u);
+}
+
+TEST(PerfDiff, LocalizedRegressionSurvivesDriftNormalization)
+{
+    // Three quiet benchmarks anchor the drift estimate at ~1.0;
+    // the fourth doubling is a genuine regression.
+    const auto before = perfdoc::make({{"a", 100.0, 0.1},
+                                       {"b", 50.0, 0.1},
+                                       {"c", 200.0, 0.1},
+                                       {"slow", 40.0, 0.1}});
+    const auto after = perfdoc::make({{"a", 101.0, 0.1},
+                                      {"b", 50.0, 0.1},
+                                      {"c", 199.0, 0.1},
+                                      {"slow", 80.0, 0.1}});
+    const auto deltas = obs::comparePerf(before, after);
+    ASSERT_EQ(deltas.size(), 4u);
+    EXPECT_EQ(obs::countRegressions(deltas), 1u);
+    EXPECT_EQ(deltas[3].name, "slow");
+    EXPECT_EQ(deltas[3].verdict,
+              obs::PerfDelta::Verdict::Regressed);
+}
+
+TEST(PerfDiff, FewerThanThreePairsSkipNormalization)
+{
+    // With only two matched benchmarks the median ratio is too
+    // easily dominated by the regression itself — raw gating.
+    const auto before =
+        perfdoc::make({{"a", 100.0, 0.1}, {"b", 100.0, 0.1}});
+    const auto after =
+        perfdoc::make({{"a", 200.0, 0.1}, {"b", 200.0, 0.1}});
+    const auto deltas = obs::comparePerf(before, after);
+    EXPECT_EQ(obs::countRegressions(deltas), 2u);
+    EXPECT_DOUBLE_EQ(deltas[0].appliedDrift, 1.0);
+}
+
+TEST(PerfDiff, RelativeFloorSilencesTinyAbsoluteChanges)
+{
+    // 5% change on a dead-quiet benchmark stays under the 10%
+    // default relative floor.
+    const auto before = perfdoc::make({{"tiny", 100.0, 0.0}});
+    const auto after = perfdoc::make({{"tiny", 105.0, 0.0}});
+    EXPECT_EQ(obs::comparePerf(before, after)[0].verdict,
+              obs::PerfDelta::Verdict::Similar);
+
+    // Tightening the floor (dedicated runner) flags it.
+    obs::PerfDiffOptions strict;
+    strict.minRelative = 0.02;
+    EXPECT_EQ(obs::comparePerf(before, after, strict)[0].verdict,
+              obs::PerfDelta::Verdict::Regressed);
+}
+
+TEST(PerfDiff, AddedAndRemovedBenchmarksAreReported)
+{
+    const auto before = perfdoc::make(
+        {{"keep", 10.0, 0.1}, {"gone", 20.0, 0.1}});
+    const auto after = perfdoc::make(
+        {{"keep", 10.0, 0.1}, {"new", 30.0, 0.1}});
+    const auto deltas = obs::comparePerf(before, after);
+    ASSERT_EQ(deltas.size(), 3u);
+    EXPECT_EQ(deltas[0].verdict,
+              obs::PerfDelta::Verdict::Similar);
+    EXPECT_EQ(deltas[1].verdict,
+              obs::PerfDelta::Verdict::Removed);
+    EXPECT_EQ(deltas[2].verdict,
+              obs::PerfDelta::Verdict::Added);
+    // Neither added nor removed entries count as regressions.
+    EXPECT_EQ(obs::countRegressions(deltas), 0u);
+    EXPECT_DOUBLE_EQ(deltas[1].ratio(), 0.0);
+    EXPECT_DOUBLE_EQ(deltas[2].ratio(), 0.0);
+}
+
+TEST(PerfDiff, LoadBenchFileValidatesShape)
+{
+    const std::string path = "/tmp/uatm_test_bench.json";
+    obs::JsonValue out;
+    std::string error;
+
+    EXPECT_FALSE(
+        obs::loadBenchFile("/nonexistent.json", out, error));
+    EXPECT_FALSE(error.empty());
+
+    std::ofstream(path) << "{\"not_benchmarks\": []}";
+    EXPECT_FALSE(obs::loadBenchFile(path, out, error));
+    EXPECT_NE(error.find("benchmarks"), std::string::npos);
+
+    std::ofstream(path) << "{\"benchmarks\": []}";
+    EXPECT_TRUE(obs::loadBenchFile(path, out, error)) << error;
+    std::remove(path.c_str());
 }
 
 // ------------------------------------------------- engine integration

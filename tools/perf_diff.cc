@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Continuous-benchmark regression gate.
+ *
+ * Loads two BENCH_*.json records written by the obs::BenchSuite
+ * harness, aligns their benchmarks by name, and flags median
+ * ns/op changes beyond a MAD-scaled noise threshold:
+ *
+ *   perf_diff [options] <before.json> <after.json>
+ *
+ *     --report-only    always exit 0 (CI log table, no gate)
+ *     --sigmas=<s>     noise threshold in robust sigmas (default 4)
+ *     --min-rel=<f>    relative change floor (default 0.10 = 10%)
+ *     --no-drift-norm  gate on raw times instead of dividing the
+ *                      suite's median after/before ratio out first
+ *
+ * Exit status: 0 = no regressions, 1 = at least one benchmark
+ * regressed, 2 = bad usage or unreadable/unparsable input.  The
+ * exact CI invocation is documented in docs/OBSERVABILITY.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/bench.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--report-only] [--sigmas=<s>] "
+        "[--min-rel=<f>] [--no-drift-norm] "
+        "<before.json> <after.json>\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace uatm;
+
+    obs::PerfDiffOptions options;
+    bool report_only = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--report-only") {
+            report_only = true;
+        } else if (arg == "--no-drift-norm") {
+            options.normalizeDrift = false;
+        } else if (arg.rfind("--sigmas=", 0) == 0) {
+            options.sigmas = std::atof(arg.c_str() + 9);
+            if (options.sigmas <= 0.0) {
+                std::fprintf(stderr,
+                             "perf_diff: invalid --sigmas value "
+                             "'%s'\n",
+                             arg.c_str() + 9);
+                return 2;
+            }
+        } else if (arg.rfind("--min-rel=", 0) == 0) {
+            options.minRelative = std::atof(arg.c_str() + 10);
+            if (options.minRelative < 0.0) {
+                std::fprintf(stderr,
+                             "perf_diff: invalid --min-rel value "
+                             "'%s'\n",
+                             arg.c_str() + 10);
+                return 2;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        return usage(argv[0]);
+
+    obs::JsonValue before, after;
+    std::string error;
+    if (!obs::loadBenchFile(files[0], before, error) ||
+        !obs::loadBenchFile(files[1], after, error)) {
+        std::fprintf(stderr, "perf_diff: %s\n", error.c_str());
+        return 2;
+    }
+
+    const std::vector<obs::PerfDelta> deltas =
+        obs::comparePerf(before, after, options);
+
+    std::printf("perf_diff: %s (%s)  vs  %s (%s)\n",
+                files[0].c_str(),
+                before.stringOr("git_describe", "?").c_str(),
+                files[1].c_str(),
+                after.stringOr("git_describe", "?").c_str());
+    std::printf("noise threshold: %.1f robust sigmas "
+                "(1.4826*MAD), floor %.1f%%\n",
+                options.sigmas, options.minRelative * 100.0);
+    double drift = 1.0;
+    for (const auto &delta : deltas) {
+        if (delta.verdict != obs::PerfDelta::Verdict::Added &&
+            delta.verdict != obs::PerfDelta::Verdict::Removed) {
+            drift = delta.appliedDrift;
+            break;
+        }
+    }
+    if (drift != 1.0) {
+        std::printf("suite drift: %+.1f%% (median shift; divided "
+                    "out of the verdicts — raw %% shown below)\n",
+                    (drift - 1.0) * 100.0);
+    }
+    std::printf("\n");
+    std::fputs(obs::formatPerfTable(deltas).c_str(), stdout);
+
+    const std::size_t regressions =
+        obs::countRegressions(deltas);
+    if (regressions > 0) {
+        std::printf("\n%zu benchmark%s regressed%s\n", regressions,
+                    regressions == 1 ? "" : "s",
+                    report_only ? " (report-only mode, not "
+                                  "failing)"
+                                : "");
+    } else {
+        std::printf("\nno regressions\n");
+    }
+    return (regressions > 0 && !report_only) ? 1 : 0;
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Plot the paper's figures from the bench CSV snapshots.
+"""Plot the paper's figures and benchmark trends from bench_out/.
 
 The C++ benchmark binaries under build/bench/ write CSV snapshots to
 bench_out/ (override with UATM_BENCH_OUT).  This script turns them
@@ -9,14 +9,23 @@ Usage:
     for b in build/bench/*; do $b; done     # produce the CSVs
     python3 tools/plot_figures.py           # render bench_out/*.png
 
-Requires matplotlib; the repository's results do not depend on it —
-every figure is also printed as a table and an ASCII chart by the
-bench binaries themselves.
+    python3 tools/plot_figures.py --bench <dir>
+        Plot ns/op trajectories from every BENCH_*.json under <dir>
+        (recursively; one benchmark-harness record per run, see
+        docs/OBSERVABILITY.md for the schema), ordered by file
+        modification time.
+
+Matplotlib is optional: when it is missing the script prints what
+it would have rendered and exits successfully — the repository's
+results never depend on it, since every figure is also printed as
+a table and an ASCII chart by the bench binaries themselves.
 """
 
 from __future__ import annotations
 
+import argparse
 import csv
+import json
 import os
 import sys
 from pathlib import Path
@@ -26,8 +35,11 @@ try:
 
     matplotlib.use("Agg")
     import matplotlib.pyplot as plt
+
+    HAVE_MPL = True
 except ImportError:  # pragma: no cover
-    sys.exit("matplotlib is required: pip install matplotlib")
+    plt = None
+    HAVE_MPL = False
 
 OUT_DIR = Path(os.environ.get("UATM_BENCH_OUT", "bench_out"))
 
@@ -51,8 +63,8 @@ def read_csv(name: str):
     return header, [[coerce(c) for c in row] for row in data]
 
 
-def save(fig, name: str) -> None:
-    path = OUT_DIR / f"{name}.png"
+def save(fig, name: str, directory: Path = OUT_DIR) -> None:
+    path = directory / f"{name}.png"
     fig.savefig(path, dpi=150, bbox_inches="tight")
     plt.close(fig)
     print(f"  wrote {path}")
@@ -143,7 +155,87 @@ def plot_fig6() -> None:
     save(fig, "fig6")
 
 
-def main() -> None:
+def load_bench_records(directory: Path):
+    """(run label, {benchmark: ns/op}) per record, oldest first."""
+    paths = sorted(directory.rglob("BENCH_*.json"),
+                   key=lambda p: (p.stat().st_mtime, str(p)))
+    records = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  [skip] {path}: {err}")
+            continue
+        benchmarks = doc.get("benchmarks")
+        if not isinstance(benchmarks, list):
+            print(f"  [skip] {path}: no \"benchmarks\" array")
+            continue
+        label = str(doc.get("git_describe", "")) or path.stem
+        # Disambiguate repeated runs of the same commit by the
+        # record's parent directory (e.g. perf/before, perf/after).
+        if any(label == seen for seen, _ in records):
+            label = f"{label} ({path.parent.name})"
+        series = {}
+        for bench in benchmarks:
+            if isinstance(bench, dict) and "name" in bench:
+                series[str(bench["name"])] = float(
+                    bench.get("ns_per_op", 0.0))
+        records.append((label, series))
+    return records
+
+
+def plot_bench_trajectories(directory: Path) -> None:
+    """ns/op per benchmark across a directory of BENCH_*.json."""
+    records = load_bench_records(directory)
+    if not records:
+        sys.exit(f"no readable BENCH_*.json under {directory}/ — "
+                 "run ./build/bench/bench_sim_throughput first")
+    names = sorted({name for _, series in records
+                    for name in series})
+    print(f"  {len(records)} run(s), {len(names)} benchmark(s)")
+    if not HAVE_MPL:
+        print("  [skip] matplotlib not installed — no PNG "
+              "rendered (records parsed fine)")
+        return
+    xs = range(len(records))
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for name in names:
+        ys = [series.get(name) for _, series in records]
+        ax.plot(xs, ys, marker="o", label=name)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels([label for label, _ in records],
+                       rotation=30, ha="right", fontsize=7)
+    ax.set_ylabel("ns per op (median)")
+    ax.set_yscale("log")
+    ax.set_title("benchmark ns/op across runs")
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=6, ncol=2)
+    save(fig, "bench_trajectory", directory)
+
+
+def main(argv) -> None:
+    parser = argparse.ArgumentParser(
+        description="Render the paper figures from bench_out/ "
+                    "CSVs, or benchmark ns/op trajectories from "
+                    "BENCH_*.json records.")
+    parser.add_argument(
+        "--bench", nargs="?", const=str(OUT_DIR), default=None,
+        metavar="DIR",
+        help="plot ns/op trajectories from every BENCH_*.json "
+             "under DIR (default: $UATM_BENCH_OUT or bench_out)")
+    args = parser.parse_args(argv)
+
+    if args.bench is not None:
+        print(f"reading BENCH_*.json from {args.bench}/")
+        plot_bench_trajectories(Path(args.bench))
+        print("done")
+        return
+
+    if not HAVE_MPL:
+        print("[skip] matplotlib not installed — figures not "
+              "rendered (the bench binaries already printed every "
+              "figure as a table + ASCII chart)")
+        return
     print(f"reading CSVs from {OUT_DIR}/")
     if not OUT_DIR.exists():
         sys.exit("bench_out/ missing — run the bench binaries "
@@ -161,4 +253,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])
