@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scaling benchmark for the exp::Runner worker pool: the same
+ * cache-geometry sweep scenario at 1, 2, 4 and 8 threads, on the
+ * obs::BenchSuite harness.  Writes BENCH_sweep_parallel.json for
+ * tools/perf_diff, and reports the wall-clock speedup of each
+ * thread count over the serial run.  Before timing anything, it
+ * asserts the merged CSV is byte-identical at every thread count —
+ * the runner's core determinism contract.
+ *
+ *   bench_sweep_parallel [--filter=<substr>] [--list] [--reps=<n>]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "exp/scenarios.hh"
+#include "obs/bench.hh"
+
+namespace uatm {
+namespace {
+
+constexpr std::uint64_t kRefs = 20000;
+
+exp::GeometrySweep
+benchSweep()
+{
+    exp::GeometrySweep spec;
+    spec.axis = exp::GeometrySweep::Axis::Size;
+    spec.base.assoc = 2;
+    spec.base.lineBytes = 32;
+    spec.workload = exp::WorkloadSpec::spec92("nasa7", 9);
+    spec.values = {4096,  8192,   16384,  32768,
+                   65536, 131072, 262144, 524288};
+    spec.refs = kRefs;
+    spec.warmupRefs = kRefs / 10;
+    return spec;
+}
+
+std::string
+sweepCsv(unsigned threads)
+{
+    exp::Runner runner(exp::RunnerOptions{threads});
+    return exp::runGeometrySweep(benchSweep(), runner)
+        .renderCsv();
+}
+
+} // namespace
+} // namespace uatm
+
+int
+main(int argc, char **argv)
+{
+    using namespace uatm;
+
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+    const unsigned threadCounts[] = {1, 2, 4, 8};
+
+    if (!args.listOnly) {
+        // Determinism gate first: a timing table for a runner
+        // that merges differently per thread count would be
+        // meaningless.
+        const std::string serial = sweepCsv(1);
+        for (unsigned threads : threadCounts) {
+            if (sweepCsv(threads) != serial) {
+                std::fprintf(stderr,
+                             "FAIL: sweep output at %u threads "
+                             "differs from the serial run\n",
+                             threads);
+                return EXIT_FAILURE;
+            }
+        }
+        std::printf("sweep output byte-identical at 1/2/4/8 "
+                    "threads; timing the pool...\n");
+    }
+
+    obs::BenchSuite suite("sweep_parallel");
+    for (unsigned threads : threadCounts) {
+        const std::string name =
+            "sweep/geometry/t" + std::to_string(threads);
+        suite.add(name, [threads](obs::BenchState &state) {
+            const exp::GeometrySweep spec = benchSweep();
+            state.setItems(spec.values.size() * spec.refs);
+            exp::Runner runner(exp::RunnerOptions{threads});
+            const auto table =
+                exp::runGeometrySweep(spec, runner);
+            obs::doNotOptimize(table.rows());
+        });
+    }
+
+    obs::BenchSuite::RunOptions options;
+    options.filter = args.filter;
+    options.listOnly = args.listOnly;
+    options.reps = args.reps;
+
+    suite.run(options);
+
+    if (!args.listOnly && args.filter.empty() &&
+        suite.results().size() == 4) {
+        const double serial =
+            suite.results().front().nsPerRepMedian;
+        std::printf("\nspeedup over 1 thread (wall clock, "
+                    "%u-core host):\n",
+                    std::thread::hardware_concurrency());
+        for (const auto &result : suite.results()) {
+            std::printf("  %-24s %6.2fx\n", result.name.c_str(),
+                        serial / result.nsPerRepMedian);
+        }
+    }
+    return 0;
+}

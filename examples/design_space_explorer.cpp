@@ -7,9 +7,13 @@
  * microprocessor architect would run with this library when
  * deciding where to spend pins and chip area (Sec. 5.2).
  *
+ * The 24-point grid is a declarative scenario sharded across
+ * --threads workers; the merged table is identical at any thread
+ * count.
+ *
  * Example:
  *   ./build/examples/design_space_explorer --workload doduc \
- *       --mu 8 --refs 100000
+ *       --mu 8 --refs 100000 --threads 4 --format csv
  */
 
 #include <cstdio>
@@ -17,9 +21,11 @@
 #include <vector>
 
 #include "cpu/timing_engine.hh"
-#include "trace/generators.hh"
+#include "exp/runner.hh"
 #include "util/options.hh"
 #include "util/table.hh"
+
+#include "example_cli.hh"
 
 using namespace uatm;
 
@@ -38,75 +44,90 @@ main(int argc, char **argv)
     options.addInt("line", 32, "cache line size in bytes");
     options.addInt("seed", 1, "workload seed");
     options.addFlag("pipelined", "use a pipelined memory (q=2)");
+    examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+    const auto cli = examples::parseRunnerOptions(options);
 
     const std::string workload_name = options.getString("workload");
     const auto mu = static_cast<Cycles>(options.getInt("mu"));
-    const auto refs =
-        static_cast<std::uint64_t>(options.getInt("refs"));
     const auto line =
         static_cast<std::uint32_t>(options.getInt("line"));
-    const auto seed =
-        static_cast<std::uint64_t>(options.getInt("seed"));
 
-    std::printf("workload %s, mu_m = %llu, %llu refs, L = %u\n\n",
-                workload_name.c_str(),
-                static_cast<unsigned long long>(mu),
-                static_cast<unsigned long long>(refs), line);
+    exp::Scenario scenario(
+        "design_space",
+        "cache size x bus width x stall feature x write buffer");
+    scenario.refs =
+        static_cast<std::uint64_t>(options.getInt("refs"));
+    scenario.workload = exp::WorkloadSpec::spec92(
+        workload_name,
+        static_cast<std::uint64_t>(options.getInt("seed")));
+    scenario.cache.assoc = 2;
+    scenario.cache.lineBytes = line;
+    scenario.memory.cycleTime = mu;
+    scenario.memory.pipelined = options.getFlag("pipelined");
+    scenario.memory.pipelineInterval = 2;
+    scenario.writeBuffer.readBypass = true;
 
-    TextTable table({"cache", "bus", "feature", "wbuf", "HR %",
-                     "cycles", "CPI", "mem delay"});
+    scenario.sweepLabeled(
+        "cache", {{"8K", 8192}, {"32K", 32768}, {"128K", 131072}},
+        [](exp::Point &point, const exp::AxisValue &v) {
+            point.cache.sizeBytes =
+                static_cast<std::uint64_t>(v.value);
+        });
+    scenario.sweepLabeled(
+        "bus", {{"32-bit", 4}, {"64-bit", 8}},
+        [](exp::Point &point, const exp::AxisValue &v) {
+            point.memory.busWidthBytes =
+                static_cast<std::uint32_t>(v.value);
+        });
+    scenario.sweepLabeled(
+        "feature",
+        {{stallFeatureName(StallFeature::FS),
+          static_cast<double>(StallFeature::FS)},
+         {stallFeatureName(StallFeature::BNL3),
+          static_cast<double>(StallFeature::BNL3)}},
+        [](exp::Point &point, const exp::AxisValue &v) {
+            point.cpu.feature = static_cast<StallFeature>(
+                static_cast<int>(v.value));
+        });
+    scenario.sweepLabeled(
+        "wbuf", {{"-", 0}, {"8", 8}},
+        [](exp::Point &point, const exp::AxisValue &v) {
+            point.writeBuffer.depth =
+                static_cast<std::uint32_t>(v.value);
+        });
 
-    for (std::uint64_t size : {8192ull, 32768ull, 131072ull}) {
-        for (std::uint32_t bus : {4u, 8u}) {
-            for (StallFeature feature :
-                 {StallFeature::FS, StallFeature::BNL3}) {
-                for (std::uint32_t depth : {0u, 8u}) {
-                    CacheConfig cache;
-                    cache.sizeBytes = size;
-                    cache.assoc = 2;
-                    cache.lineBytes = line;
+    if (cli.narrate())
+        std::printf(
+            "workload %s, mu_m = %llu, %llu refs, L = %u\n\n",
+            workload_name.c_str(),
+            static_cast<unsigned long long>(mu),
+            static_cast<unsigned long long>(scenario.refs), line);
 
-                    MemoryConfig mem;
-                    mem.busWidthBytes = bus;
-                    mem.cycleTime = mu;
-                    mem.pipelined = options.getFlag("pipelined");
-                    mem.pipelineInterval = 2;
+    exp::Runner runner = cli.makeRunner();
+    cli.emit(runner.run(
+        scenario, {"hr_pct", "cycles", "cpi", "mem_delay"},
+        [](const exp::Point &point) {
+            TimingEngine engine(point.cache, point.memory,
+                                point.writeBuffer, point.cpu);
+            auto workload = point.workload.make();
+            const auto stats = engine.run(*workload, point.refs);
+            return std::vector<exp::Cell>{
+                exp::Cell::num(
+                    engine.cacheStats().hitRatio() * 100, 2),
+                exp::Cell::integer(
+                    static_cast<std::int64_t>(stats.cycles)),
+                exp::Cell::num(stats.cpi(), 3),
+                exp::Cell::num(stats.meanMemoryDelay(), 3)};
+        }));
 
-                    CpuConfig cpu;
-                    cpu.feature = feature;
-
-                    TimingEngine engine(
-                        cache, mem, WriteBufferConfig{depth, true},
-                        cpu);
-                    auto workload =
-                        Spec92Profile::make(workload_name, seed);
-                    const auto stats =
-                        engine.run(*workload, refs);
-
-                    table.addRow(
-                        {std::to_string(size / 1024) + "K",
-                         std::to_string(bus * 8) + "-bit",
-                         stallFeatureName(feature),
-                         depth ? std::to_string(depth) : "-",
-                         TextTable::num(
-                             engine.cacheStats().hitRatio() * 100,
-                             2),
-                         std::to_string(stats.cycles),
-                         TextTable::num(stats.cpi(), 3),
-                         TextTable::num(stats.meanMemoryDelay(),
-                                        3)});
-                }
-            }
-        }
-    }
-    std::fputs(table.render().c_str(), stdout);
-
-    std::printf("\nReading the table: designs with equal cycle "
-                "counts are equal-performance design points in "
-                "the sense of Sec. 4.5 — e.g. compare a wide-bus "
-                "small cache against a narrow-bus larger cache "
-                "(Example 1).\n");
+    if (cli.narrate())
+        std::printf(
+            "\nReading the table: designs with equal cycle "
+            "counts are equal-performance design points in "
+            "the sense of Sec. 4.5 — e.g. compare a wide-bus "
+            "small cache against a narrow-bus larger cache "
+            "(Example 1).\n");
     return 0;
 }

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared command-line plumbing for the example binaries: the
+ * --threads / --format / --out triple every scenario-driven
+ * example exposes, parsed into a Runner and an emission target.
+ */
+
+#ifndef UATM_EXAMPLES_EXAMPLE_CLI_HH
+#define UATM_EXAMPLES_EXAMPLE_CLI_HH
+
+#include <string>
+
+#include "exp/result_table.hh"
+#include "exp/runner.hh"
+#include "util/options.hh"
+
+namespace uatm::examples {
+
+/** Declare --threads, --format and --out on @p options. */
+inline void
+addRunnerOptions(OptionParser &options)
+{
+    options.addInt("threads", 1,
+                   "worker threads (0 = all hardware threads)");
+    options.addString("format", "text",
+                      "result table format: text | csv | json");
+    options.addString("out", "",
+                      "write the result table here instead of "
+                      "stdout");
+}
+
+/** The parsed --threads / --format / --out triple. */
+struct RunnerCli
+{
+    unsigned threads = 1;
+    exp::TableFormat format = exp::TableFormat::Text;
+    std::string out;
+
+    /** True when narrative printf output won't corrupt the table
+     *  stream (table is a file, or it renders as text). */
+    bool narrate() const
+    {
+        return !out.empty() ||
+               format == exp::TableFormat::Text;
+    }
+
+    exp::Runner makeRunner() const
+    {
+        return exp::Runner(exp::RunnerOptions{threads});
+    }
+
+    /** Emit @p table per the parsed flags. */
+    void emit(const exp::ResultTable &table) const
+    {
+        table.emit(format, out);
+    }
+};
+
+inline RunnerCli
+parseRunnerOptions(const OptionParser &options)
+{
+    RunnerCli cli;
+    cli.threads =
+        static_cast<unsigned>(options.getInt("threads"));
+    cli.format = exp::parseTableFormat(options.getString("format"));
+    cli.out = options.getString("out");
+    return cli;
+}
+
+} // namespace uatm::examples
+
+#endif // UATM_EXAMPLES_EXAMPLE_CLI_HH

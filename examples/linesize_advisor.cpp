@@ -8,19 +8,22 @@
  * tradeoff criterion (Eq. 19) and Smith's criterion (Eq. 16)
  * agree, plus the range of bus speeds where the choice holds.
  *
+ * The per-line simulations are independent, so they shard across
+ * --threads workers through the scenario runner.
+ *
  * Example:
  *   ./build/examples/linesize_advisor --cache-kb 16 \
- *       --latency-ns 360 --ns-per-byte 15 --cycle-ns 60 --bus 8
+ *       --latency-ns 360 --ns-per-byte 15 --cycle-ns 60 --bus 8 \
+ *       --threads 4
  */
 
 #include <cstdio>
 #include <string>
 
-#include "cache/sweep.hh"
-#include "linesize/line_tradeoff.hh"
-#include "trace/generators.hh"
+#include "exp/scenarios.hh"
 #include "util/options.hh"
-#include "util/table.hh"
+
+#include "example_cli.hh"
 
 using namespace uatm;
 
@@ -38,62 +41,54 @@ main(int argc, char **argv)
     options.addDouble("cycle-ns", 60.0, "CPU cycle time");
     options.addInt("bus", 8, "bus width in bytes");
     options.addInt("refs", 150000, "references to simulate");
+    examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+    const auto cli = examples::parseRunnerOptions(options);
 
-    const auto model = LineDelayModel::fromNanoseconds(
+    exp::LineTradeoff spec;
+    spec.delay = LineDelayModel::fromNanoseconds(
         options.getDouble("latency-ns"),
         options.getDouble("ns-per-byte"),
         options.getDouble("cycle-ns"),
         static_cast<double>(options.getInt("bus")));
-    std::printf("delay model: %s\n\n", model.describe().c_str());
+    if (cli.narrate())
+        std::printf("delay model: %s\n\n",
+                    spec.delay.describe().c_str());
 
     // Measure MR(L) for the candidate lines with the simulator.
-    CacheConfig cache;
-    cache.sizeBytes =
+    spec.base.sizeBytes =
         static_cast<std::uint64_t>(options.getInt("cache-kb")) *
         1024;
-    cache.assoc = 2;
-    auto workload = Spec92Profile::make(
-        options.getString("workload"), 11);
-    const std::vector<std::uint32_t> candidates = {8, 16, 32, 64,
-                                                   128};
-    const auto refs =
-        static_cast<std::uint64_t>(options.getInt("refs"));
-    const auto sweep = sweepLineSize(cache, *workload, candidates,
-                                     refs, refs / 10);
-    const auto table =
-        MissRatioTable::fromSweep("measured", sweep);
+    spec.base.assoc = 2;
+    spec.workload =
+        exp::WorkloadSpec::spec92(options.getString("workload"), 11);
+    spec.lineSizes = {8, 16, 32, 64, 128};
+    spec.baseLine = 8;
+    spec.refs = static_cast<std::uint64_t>(options.getInt("refs"));
+    spec.warmupRefs = spec.refs / 10;
 
-    TextTable report({"line", "miss ratio", "mean delay (Eq.15)",
-                      "reduced delay vs 8B (Eq.19)"});
-    for (std::uint32_t line : candidates) {
-        const double mr = table.missRatio(line);
-        report.addRow(
-            {std::to_string(line), TextTable::num(mr, 4),
-             TextTable::num(model.meanMemoryDelay(mr, line), 4),
-             line == 8 ? "-"
-                       : TextTable::num(
-                             reducedDelay(table, model, 8, line),
-                             4)});
-    }
-    std::fputs(report.render().c_str(), stdout);
+    exp::Runner runner = cli.makeRunner();
+    const auto result = exp::runLineTradeoff(spec, runner);
+    cli.emit(result.table);
 
-    const auto best = tradeoffOptimalLine(table, model, 8);
-    const auto smith = smithOptimalLine(table, model);
+    if (!cli.narrate())
+        return 0;
+
     std::printf("\nrecommended line size: %u bytes "
                 "(Smith's criterion picks %u — Sec. 5.4 proves "
                 "the two always agree)\n",
-                best, smith);
+                result.recommended, result.smith);
 
-    if (best != 8) {
+    if (result.recommended != spec.baseLine) {
         if (const auto range = beneficialBetaRange(
-                table, model, 8, best, 0.25, 16.0)) {
+                result.missRatios, spec.delay, spec.baseLine,
+                result.recommended, 0.25, 16.0)) {
             std::printf("the %uB line stays beneficial for "
                         "normalised bus speeds beta in "
                         "[%.2f, %.2f] (yours: %.2f)\n",
-                        best, range->first, range->second,
-                        model.beta);
+                        result.recommended, range->first,
+                        range->second, spec.delay.beta);
         }
     } else {
         std::printf("no larger line pays for itself at this bus "

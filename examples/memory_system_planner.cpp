@@ -4,20 +4,24 @@
  * with cycle time mu_m, decide between pipelining the memory,
  * doubling the bus, and adding read-bypassing write buffers —
  * using both the analytic crossover machinery and end-to-end
- * timing simulation of the candidate systems.
+ * timing simulation of the candidate systems, the latter sharded
+ * across --threads workers as a candidate-axis scenario.
  *
  * Example:
- *   ./build/examples/memory_system_planner --mu 12 --line 32
+ *   ./build/examples/memory_system_planner --mu 12 --line 32 \
+ *       --threads 4
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "core/tradeoff.hh"
 #include "cpu/timing_engine.hh"
-#include "trace/generators.hh"
+#include "exp/runner.hh"
 #include "util/options.hh"
-#include "util/table.hh"
+
+#include "example_cli.hh"
 
 using namespace uatm;
 
@@ -33,8 +37,10 @@ main(int argc, char **argv)
     options.addInt("line", 32, "cache line size in bytes");
     options.addInt("q", 2, "pipelined issue interval");
     options.addInt("refs", 120000, "references to simulate");
+    examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+    const auto cli = examples::parseRunnerOptions(options);
 
     const double mu = static_cast<double>(options.getInt("mu"));
     const double line =
@@ -47,78 +53,94 @@ main(int argc, char **argv)
     ctx.machine.cycleTime = mu;
     ctx.alpha = 0.5;
 
-    // 1. Analytic ranking at this operating point.
-    std::printf("analytic ranking at %s (base HR 95 %%):\n",
-                ctx.machine.describe().c_str());
-    const auto scores = rankFeatures(ctx, 0.95, 6.5, q);
-    for (std::size_t i = 0; i < scores.size(); ++i) {
-        std::printf("  %zu. %-15s r = %.3f  (worth %.2f %% hit "
-                    "ratio)\n",
-                    i + 1, scores[i].name.c_str(),
-                    scores[i].missFactor,
-                    scores[i].hitRatioTraded * 100);
+    if (cli.narrate()) {
+        // 1. Analytic ranking at this operating point.
+        std::printf("analytic ranking at %s (base HR 95 %%):\n",
+                    ctx.machine.describe().c_str());
+        const auto scores = rankFeatures(ctx, 0.95, 6.5, q);
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            std::printf("  %zu. %-15s r = %.3f  (worth %.2f %% "
+                        "hit ratio)\n",
+                        i + 1, scores[i].name.c_str(),
+                        scores[i].missFactor,
+                        scores[i].hitRatioTraded * 100);
+        }
+
+        // 2. Where does the pipelined system take over from the
+        //    bus?
+        if (const auto crossover = crossoverCycleTime(
+                ctx, TradeFeature::PipelinedMemory,
+                TradeFeature::DoubleBus, q, 1.0,
+                std::max(2.0, q), 400.0)) {
+            std::printf("\npipelined memory overtakes bus "
+                        "doubling at mu_m = %.2f cycles — your "
+                        "part is %s that point\n",
+                        *crossover,
+                        mu > *crossover ? "past" : "below");
+        } else {
+            std::printf("\npipelined memory never overtakes bus "
+                        "doubling at this L/D (cf. Fig. 3)\n");
+        }
+
+        // 3. End-to-end confirmation with the timing engine.
+        std::printf("\nend-to-end simulation (%s):\n",
+                    options.getString("workload").c_str());
     }
 
-    // 2. Where does the pipelined system take over from the bus?
-    if (const auto crossover = crossoverCycleTime(
-            ctx, TradeFeature::PipelinedMemory,
-            TradeFeature::DoubleBus, q, 1.0, std::max(2.0, q),
-            400.0)) {
-        std::printf("\npipelined memory overtakes bus doubling at "
-                    "mu_m = %.2f cycles — your part is %s that "
-                    "point\n",
-                    *crossover, mu > *crossover ? "past" : "below");
-    } else {
-        std::printf("\npipelined memory never overtakes bus "
-                    "doubling at this L/D (cf. Fig. 3)\n");
-    }
-
-    // 3. End-to-end confirmation with the timing engine.
-    std::printf("\nend-to-end simulation (%s):\n",
-                options.getString("workload").c_str());
-    TextTable table({"system", "cycles", "CPI", "mem delay"});
-    const auto refs =
+    // One labelled axis: the candidate memory systems.  Each
+    // candidate's label encodes (bus doubling, pipelining, write
+    // buffering); the applier decodes it into the point's configs.
+    exp::Scenario scenario("memory_system_candidates",
+                           "candidate memory systems end to end");
+    scenario.refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
+    scenario.workload = exp::WorkloadSpec::spec92(
+        options.getString("workload"), 21);
+    scenario.cache.sizeBytes = 8 * 1024;
+    scenario.cache.assoc = 2;
+    scenario.cache.lineBytes = static_cast<std::uint32_t>(line);
+    scenario.memory.cycleTime = static_cast<Cycles>(mu);
+    scenario.memory.pipelineInterval = static_cast<Cycles>(q);
+    scenario.cpu.feature = StallFeature::FS;
+    scenario.writeBuffer.readBypass = true;
 
-    struct Candidate
-    {
-        const char *name;
-        std::uint32_t bus;
-        bool pipelined;
-        std::uint32_t wbuf;
-    };
-    const Candidate candidates[] = {
-        {"baseline (FS, 32-bit)", 4, false, 0},
-        {"+ write buffers", 4, false, 8},
-        {"+ 64-bit bus", 8, false, 0},
-        {"+ pipelined memory", 4, true, 0},
-    };
-    for (const auto &candidate : candidates) {
-        CacheConfig cache;
-        cache.sizeBytes = 8 * 1024;
-        cache.assoc = 2;
-        cache.lineBytes = static_cast<std::uint32_t>(line);
+    enum Candidate { Base = 0, Wbuf, WideBus, Pipelined };
+    scenario.sweepLabeled(
+        "system",
+        {{"baseline (FS, 32-bit)", Base},
+         {"+ write buffers", Wbuf},
+         {"+ 64-bit bus", WideBus},
+         {"+ pipelined memory", Pipelined}},
+        [](exp::Point &point, const exp::AxisValue &v) {
+            switch (static_cast<Candidate>(
+                static_cast<int>(v.value))) {
+              case Base:
+                break;
+              case Wbuf:
+                point.writeBuffer.depth = 8;
+                break;
+              case WideBus:
+                point.memory.busWidthBytes = 8;
+                break;
+              case Pipelined:
+                point.memory.pipelined = true;
+                break;
+            }
+        });
 
-        MemoryConfig mem;
-        mem.busWidthBytes = candidate.bus;
-        mem.cycleTime = static_cast<Cycles>(mu);
-        mem.pipelined = candidate.pipelined;
-        mem.pipelineInterval = static_cast<Cycles>(q);
-
-        CpuConfig cpu;
-        cpu.feature = StallFeature::FS;
-
-        TimingEngine engine(
-            cache, mem, WriteBufferConfig{candidate.wbuf, true},
-            cpu);
-        auto workload = Spec92Profile::make(
-            options.getString("workload"), 21);
-        const auto stats = engine.run(*workload, refs);
-        table.addRow({candidate.name,
-                      std::to_string(stats.cycles),
-                      TextTable::num(stats.cpi(), 3),
-                      TextTable::num(stats.meanMemoryDelay(), 3)});
-    }
-    std::fputs(table.render().c_str(), stdout);
+    exp::Runner runner = cli.makeRunner();
+    cli.emit(runner.run(
+        scenario, {"cycles", "cpi", "mem_delay"},
+        [](const exp::Point &point) {
+            TimingEngine engine(point.cache, point.memory,
+                                point.writeBuffer, point.cpu);
+            auto workload = point.workload.make();
+            const auto stats = engine.run(*workload, point.refs);
+            return std::vector<exp::Cell>{
+                exp::Cell::integer(
+                    static_cast<std::int64_t>(stats.cycles)),
+                exp::Cell::num(stats.cpi(), 3),
+                exp::Cell::num(stats.meanMemoryDelay(), 3)};
+        }));
     return 0;
 }

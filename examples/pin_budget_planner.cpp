@@ -9,20 +9,23 @@
  *
  * Reproduces the paper's observation that doubling a *small*
  * cache beats widening the bus, while for a *large* cache the
- * wider bus trades for a lot of area.
+ * wider bus trades for a lot of area.  The size sweep shards
+ * across --threads workers.
  *
  * Example:
- *   ./build/examples/pin_budget_planner --workload ear --mu 12
+ *   ./build/examples/pin_budget_planner --workload ear --mu 12 \
+ *       --threads 4
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
-#include "cache/sweep.hh"
 #include "core/equivalence.hh"
-#include "trace/generators.hh"
+#include "exp/scenarios.hh"
 #include "util/options.hh"
-#include "util/table.hh"
+
+#include "example_cli.hh"
 
 using namespace uatm;
 
@@ -36,21 +39,24 @@ main(int argc, char **argv)
     options.addString("workload", "ear", "SPEC92-like profile");
     options.addInt("mu", 12, "memory cycle time per bus transfer");
     options.addInt("refs", 150000, "references to simulate");
+    examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+    const auto cli = examples::parseRunnerOptions(options);
 
-    // 1. Measure the size -> hit-ratio curve for this workload.
+    // 1. Measure the size -> hit-ratio curve for this workload,
+    //    one simulation per size, sharded by the runner.
     CacheConfig base;
     base.assoc = 2;
     base.lineBytes = 32;
-    auto workload =
-        Spec92Profile::make(options.getString("workload"), 5);
     const std::vector<std::uint64_t> sizes = {
         4096, 8192, 16384, 32768, 65536, 131072, 262144};
     const auto refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
-    const auto sweep =
-        sweepCacheSize(base, *workload, sizes, refs, refs / 10);
+    const auto sweep = exp::sweepCacheSizeParallel(
+        base, exp::WorkloadSpec::spec92(
+                  options.getString("workload"), 5),
+        sizes, refs, refs / 10, cli.threads);
 
     std::vector<SizePoint> anchors;
     for (const auto &point : sweep) {
@@ -66,8 +72,9 @@ main(int argc, char **argv)
     // 2. At each size: the cache size whose hit ratio equals the
     //    performance of doubling the bus instead (Eq. 7).
     const double mu = static_cast<double>(options.getInt("mu"));
-    TextTable table({"cache", "HR %", "bus-equivalent cache",
-                     "area factor", "verdict (vs ~32 pins)"});
+    exp::ResultTable table("pin_budget",
+                           {"cache", "hr_pct", "bus_equiv_cache",
+                            "area_factor", "verdict"});
     for (const auto &anchor : anchors) {
         if (anchor.sizeBytes == anchors.back().sizeBytes)
             break;
@@ -88,23 +95,27 @@ main(int argc, char **argv)
             equal_size / static_cast<double>(anchor.sizeBytes);
         const bool area_cheap = !saturated && factor <= 4.0;
         table.addRow(
-            {std::to_string(anchor.sizeBytes / 1024) + "K",
-             TextTable::num(anchor.hitRatio * 100, 2),
-             saturated ? "none (curve saturated)"
-                       : TextTable::num(equal_size / 1024.0, 1) +
-                             "K",
-             saturated ? "-" : TextTable::num(factor, 2) + "x",
-             area_cheap ? "grow the cache, save the pins"
-                        : "widen the bus, save the area"});
+            {exp::Cell::text(
+                 std::to_string(anchor.sizeBytes / 1024) + "K"),
+             exp::Cell::num(anchor.hitRatio * 100, 2),
+             saturated
+                 ? exp::Cell::text("none (curve saturated)")
+                 : exp::Cell::num(equal_size / 1024.0, 1),
+             saturated ? exp::Cell::text("-")
+                       : exp::Cell::num(factor, 2),
+             exp::Cell::text(
+                 area_cheap ? "grow the cache, save the pins"
+                            : "widen the bus, save the area")});
     }
-    std::fputs(table.render().c_str(), stdout);
+    cli.emit(table);
 
-    std::printf(
-        "\nInterpretation (Sec. 5.2): the \"bus-equivalent "
-        "cache\" is the capacity a 32-bit design needs to match "
-        "a 64-bit design at the row's size.  Small caches trade "
-        "up cheaply (2-4x area beats 32 pins); once the curve "
-        "flattens, the same pins buy more than any affordable "
-        "area.\n");
+    if (cli.narrate())
+        std::printf(
+            "\nInterpretation (Sec. 5.2): the \"bus-equivalent "
+            "cache\" column is the capacity (KB) a 32-bit design "
+            "needs to match a 64-bit design at the row's size.  "
+            "Small caches trade up cheaply (2-4x area beats 32 "
+            "pins); once the curve flattens, the same pins buy "
+            "more than any affordable area.\n");
     return 0;
 }

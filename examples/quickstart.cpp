@@ -7,49 +7,72 @@
  * What is each architectural feature worth, measured in cache hit
  * ratio — the paper's common currency?
  *
+ * The comparison runs as a declarative scenario through the
+ * sharded runner, so the same grid scales out with --threads and
+ * re-emits as CSV/JSON with --format.
+ *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *   ./build/examples/quickstart --format csv --out grid.csv
  */
 
 #include <cstdio>
 
 #include "core/equivalence.hh"
-#include "core/tradeoff.hh"
+#include "exp/scenarios.hh"
+#include "util/options.hh"
+
+#include "example_cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uatm;
 
+    OptionParser options(
+        "quickstart",
+        "Price each architectural feature in hit ratio (Table 3).");
+    options.addInt("mu", 8, "memory cycle time per bus transfer");
+    options.addDouble("hit-ratio", 0.95, "base hit ratio");
+    examples::addRunnerOptions(options);
+    if (!options.parse(argc, argv))
+        return 0;
+    const auto cli = examples::parseRunnerOptions(options);
+
     // 1. Describe the base machine (Sec. 3 vocabulary).
-    TradeoffContext ctx;
-    ctx.machine.busWidth = 4;    // D: 32-bit external data bus
-    ctx.machine.lineBytes = 32;  // L
-    ctx.machine.cycleTime = 8;   // mu_m, CPU cycles per D bytes
-    ctx.alpha = 0.5;             // flush ratio (paper's default)
+    exp::FeatureGrid grid;
+    grid.ctx.machine.busWidth = 4;   // D: 32-bit external data bus
+    grid.ctx.machine.lineBytes = 32; // L
+    grid.ctx.alpha = 0.5;            // flush ratio (paper default)
+    grid.baseHitRatio = options.getDouble("hit-ratio");
+    grid.phiPartial = 6.5; // measured BNL phi (cf. Figure 1)
+    grid.q = 2.0;
+    grid.cycleTimes = {
+        static_cast<double>(options.getInt("mu"))};
 
-    const double base_hr = 0.95;
+    if (cli.narrate())
+        std::printf("base machine: %s @ HR = %.0f %%\n\n",
+                    grid.ctx.machine
+                        .withCycleTime(grid.cycleTimes.front())
+                        .describe()
+                        .c_str(),
+                    grid.baseHitRatio * 100);
 
-    // 2. Ask what each feature trades (Eqs. 3 and 6 / Table 3).
-    std::printf("base machine: %s @ HR = %.0f %%\n\n",
-                ctx.machine.describe().c_str(), base_hr * 100);
-    std::printf("%-22s %8s %14s %18s\n", "feature", "r",
-                "dHR traded", "equivalent HR");
+    // 2. Ask what each feature trades (Eqs. 3 and 6 / Table 3),
+    //    as a scenario through the runner.
+    exp::Runner runner = cli.makeRunner();
+    cli.emit(exp::runFeatureGrid(grid, runner));
 
-    const auto report = [&](const char *name, double r) {
-        std::printf("%-22s %8.3f %12.2f %% %16.2f %%\n", name, r,
-                    hitRatioTraded(r, base_hr) * 100,
-                    equivalentHitRatio(r, base_hr) * 100);
-    };
-    report("double the bus", missFactorDoubleBus(ctx));
-    report("write buffers", missFactorWriteBuffers(ctx));
-    report("BNL cache (phi=6.5)", missFactorPartialStall(ctx, 6.5));
-    report("pipelined mem (q=2)", missFactorPipelined(ctx, 2.0));
+    if (!cli.narrate())
+        return 0;
 
     // 3. Equal-performance designs (Sec. 5.2): what cache does a
     //    64-bit version of this machine need?
-    DesignPoint narrow{ctx.machine, base_hr};
+    TradeoffContext ctx = grid.ctx;
+    ctx.machine =
+        grid.ctx.machine.withCycleTime(grid.cycleTimes.front());
+    DesignPoint narrow{ctx.machine, grid.baseHitRatio};
     const DesignPoint wide =
         equivalentDoubleBusDesign(narrow, ctx.alpha);
     std::printf("\n%s  ==  %s\n", narrow.describe().c_str(),

@@ -20,8 +20,7 @@
 
 #include "cache/cache.hh"
 #include "core/workload.hh"
-#include "trace/generators.hh"
-#include "trace/ifetch.hh"
+#include "exp/workload_spec.hh"
 #include "trace/io.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
@@ -35,15 +34,11 @@ std::unique_ptr<TraceSource>
 makeWorkload(const std::string &name, std::uint64_t seed,
              bool with_ifetch)
 {
-    std::unique_ptr<TraceSource> data;
-    if (name == "shortlevy")
-        data = ShortLevyWorkload::make(seed);
-    else
-        data = Spec92Profile::make(name, seed);
-    if (!with_ifetch)
-        return data;
-    return std::make_unique<IFetchInterleaver>(
-        std::move(data), IFetchConfig{}, Rng(seed ^ 0xf00d));
+    exp::WorkloadSpec spec =
+        name == "shortlevy" ? exp::WorkloadSpec::shortLevy(seed)
+                            : exp::WorkloadSpec::spec92(name, seed);
+    spec.withIFetch = with_ifetch;
+    return spec.make();
 }
 
 Trace

@@ -14,15 +14,20 @@
  *   5. an end-to-end simulation of the suggested configuration
  *      against the baseline.
  *
+ * The measured parts (the phi average and the line-size sweep)
+ * run through the scenario layer, so --threads shards them.
+ *
  * Example:
  *   ./build/examples/unified_report --mu 10 --line 32 \
- *       --workload hydro2d --hit-ratio 0.95
+ *       --workload hydro2d --hit-ratio 0.95 --threads 4
  */
 
 #include <cstdio>
 #include <string>
 
 #include "uatm.hh"
+
+#include "example_cli.hh"
 
 using namespace uatm;
 
@@ -42,8 +47,10 @@ main(int argc, char **argv)
     options.addString("workload", "hydro2d",
                       "SPEC92-like profile for the measured parts");
     options.addInt("refs", 80000, "references to simulate");
+    examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+    const auto cli = examples::parseRunnerOptions(options);
 
     TradeoffContext ctx;
     ctx.machine.busWidth =
@@ -60,34 +67,42 @@ main(int argc, char **argv)
     const std::string workload_name =
         options.getString("workload");
 
-    std::printf("==============================================\n"
-                "uatm design report — %s @ HR %.1f %%\n"
-                "==============================================\n\n",
-                ctx.machine.describe().c_str(), hr * 100);
+    if (cli.narrate())
+        std::printf(
+            "==============================================\n"
+            "uatm design report — %s @ HR %.1f %%\n"
+            "==============================================\n\n",
+            ctx.machine.describe().c_str(), hr * 100);
 
     // ---- 1. feature pricing --------------------------------------
-    std::printf("[1] what each feature is worth (Eq. 6)\n");
+    if (cli.narrate())
+        std::printf("[1] what each feature is worth (Eq. 6)\n");
     {
-        // Measure the BNL3 stalling factor for this machine.
-        PhiExperiment exp;
-        exp.feature = StallFeature::BNL3;
-        exp.cycleTime =
+        // Measure the BNL3 stalling factor for this machine, one
+        // profile per runner shard.
+        PhiExperiment phi_exp;
+        phi_exp.feature = StallFeature::BNL3;
+        phi_exp.cycleTime =
             static_cast<Cycles>(ctx.machine.cycleTime);
-        exp.cache.lineBytes =
+        phi_exp.cache.lineBytes =
             static_cast<std::uint32_t>(ctx.machine.lineBytes);
-        exp.refs = refs / 2;
+        phi_exp.refs = refs / 2;
         const double phi =
-            std::min(measurePhiAllProfiles(exp).back().phi,
+            std::min(exp::measurePhiAllProfilesParallel(
+                         phi_exp, cli.threads)
+                         .back()
+                         .phi,
                      ctx.machine.lineOverBus());
 
-        TextTable table({"feature", "r", "dHR %",
-                         "equivalent HR %"});
+        exp::ResultTable table(
+            "feature_pricing",
+            {"feature", "r", "dhr_pct", "equiv_hr_pct"});
         auto row = [&](const char *name, double r) {
             table.addRow(
-                {name, TextTable::num(r, 3),
-                 TextTable::num(hitRatioTraded(r, hr) * 100, 2),
-                 TextTable::num(equivalentHitRatio(r, hr) * 100,
-                                2)});
+                {exp::Cell::text(name), exp::Cell::num(r, 3),
+                 exp::Cell::num(hitRatioTraded(r, hr) * 100, 2),
+                 exp::Cell::num(
+                     equivalentHitRatio(r, hr) * 100, 2)});
         };
         row("double the bus", missFactorDoubleBus(ctx));
         row("write buffers", missFactorWriteBuffers(ctx));
@@ -96,8 +111,10 @@ main(int argc, char **argv)
         row("pipelined memory", missFactorPipelined(ctx, q));
         row("victim cache (f=0.5, 2cy)",
             missFactorVictim(ctx, 0.5, 2.0));
-        std::fputs(table.render().c_str(), stdout);
+        cli.emit(table);
     }
+    if (!cli.narrate())
+        return 0;
 
     // ---- 2. crossover --------------------------------------------
     std::printf("\n[2] pipelined-memory crossover (Sec. 5.3)\n");
@@ -126,29 +143,29 @@ main(int argc, char **argv)
     delay.c = ctx.machine.cycleTime + 1.0;
     delay.beta = ctx.machine.cycleTime;
     delay.busWidth = ctx.machine.busWidth;
-    std::uint32_t best_line = 0;
     {
-        CacheConfig cache;
-        cache.sizeBytes = 8 * 1024;
-        cache.assoc = 2;
-        auto workload = Spec92Profile::make(workload_name, 1);
-        const auto sweep = sweepLineSize(
-            cache, *workload, {8, 16, 32, 64, 128}, refs,
-            refs / 10);
-        const auto table =
-            MissRatioTable::fromSweep("measured", sweep);
-        best_line = tradeoffOptimalLine(table, delay, 8);
+        exp::LineTradeoff spec;
+        spec.base.sizeBytes = 8 * 1024;
+        spec.base.assoc = 2;
+        spec.workload = exp::WorkloadSpec::spec92(workload_name, 1);
+        spec.lineSizes = {8, 16, 32, 64, 128};
+        spec.baseLine = 8;
+        spec.delay = delay;
+        spec.refs = refs;
+        spec.warmupRefs = refs / 10;
+        exp::Runner runner = cli.makeRunner();
+        const auto result = exp::runLineTradeoff(spec, runner);
         std::printf("    measured MR(L) recommends %u-byte "
                     "lines (Smith agrees: %u)\n",
-                    best_line, smithOptimalLine(table, delay));
+                    result.recommended, result.smith);
 
         // 4. cost + traffic view for the same table.
         CacheAreaModel area;
         CacheConfig geometry;
         geometry.sizeBytes = 8 * 1024;
         geometry.assoc = 2;
-        const auto cost =
-            costEffectiveLine(table, delay, area, geometry);
+        const auto cost = costEffectiveLine(result.missRatios,
+                                            delay, area, geometry);
         std::printf("\n[4] cost view: delay-area optimum is %u "
                     "bytes (Alpert & Flynn); traffic rises with "
                     "line size (Goodman) — see "

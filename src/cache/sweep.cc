@@ -54,24 +54,41 @@ runCacheSim(const CacheConfig &config, TraceSource &source,
     return CacheRunResult{cache.config(), measured};
 }
 
+namespace {
+
+/** Shared body of the two geometry sweeps: vary one knob, rerun. */
+std::vector<SweepPoint>
+sweepGeometry(const CacheConfig &base, TraceSource &source,
+              const std::vector<std::uint64_t> &values,
+              std::uint64_t refs, std::uint64_t warmup_refs,
+              void (*set)(CacheConfig &, std::uint64_t))
+{
+    std::vector<SweepPoint> points;
+    points.reserve(values.size());
+    for (std::uint64_t value : values) {
+        CacheConfig config = base;
+        set(config, value);
+        const auto run = runCacheSim(config, source, refs,
+                                     warmup_refs);
+        points.push_back(SweepPoint{value, run.hitRatio(),
+                                    run.missRatio(),
+                                    run.flushRatio()});
+    }
+    return points;
+}
+
+} // namespace
+
 std::vector<SweepPoint>
 sweepCacheSize(const CacheConfig &base, TraceSource &source,
                const std::vector<std::uint64_t> &sizes,
                std::uint64_t refs, std::uint64_t warmup_refs)
 {
     UATM_PROFILE_SCOPE("cache.sweep_size");
-    std::vector<SweepPoint> points;
-    points.reserve(sizes.size());
-    for (std::uint64_t size : sizes) {
-        CacheConfig config = base;
-        config.sizeBytes = size;
-        const auto run = runCacheSim(config, source, refs,
-                                     warmup_refs);
-        points.push_back(SweepPoint{size, run.hitRatio(),
-                                    run.missRatio(),
-                                    run.flushRatio()});
-    }
-    return points;
+    return sweepGeometry(base, source, sizes, refs, warmup_refs,
+                         [](CacheConfig &config, std::uint64_t v) {
+                             config.sizeBytes = v;
+                         });
 }
 
 std::vector<SweepPoint>
@@ -80,18 +97,13 @@ sweepLineSize(const CacheConfig &base, TraceSource &source,
               std::uint64_t refs, std::uint64_t warmup_refs)
 {
     UATM_PROFILE_SCOPE("cache.sweep_line");
-    std::vector<SweepPoint> points;
-    points.reserve(line_sizes.size());
-    for (std::uint32_t line : line_sizes) {
-        CacheConfig config = base;
-        config.lineBytes = line;
-        const auto run = runCacheSim(config, source, refs,
-                                     warmup_refs);
-        points.push_back(SweepPoint{line, run.hitRatio(),
-                                    run.missRatio(),
-                                    run.flushRatio()});
-    }
-    return points;
+    std::vector<std::uint64_t> values(line_sizes.begin(),
+                                      line_sizes.end());
+    return sweepGeometry(base, source, values, refs, warmup_refs,
+                         [](CacheConfig &config, std::uint64_t v) {
+                             config.lineBytes =
+                                 static_cast<std::uint32_t>(v);
+                         });
 }
 
 } // namespace uatm

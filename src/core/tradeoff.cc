@@ -182,8 +182,6 @@ hitRatioGainRequired(double r, double improved_hit_ratio)
     return (1.0 - 1.0 / r) * (1.0 - improved_hit_ratio);
 }
 
-namespace {
-
 double
 featureMissFactor(const TradeoffContext &ctx, TradeFeature feature,
                   double q, double phi)
@@ -200,8 +198,6 @@ featureMissFactor(const TradeoffContext &ctx, TradeFeature feature,
     }
     panic("unknown TradeFeature");
 }
-
-} // namespace
 
 std::optional<double>
 crossoverCycleTime(const TradeoffContext &ctx, TradeFeature a,

@@ -116,6 +116,15 @@ double equivalentHitRatio(double r, double base_hit_ratio);
 double hitRatioGainRequired(double r, double improved_hit_ratio);
 
 /**
+ * Eq. 3 specialised to one named feature at the given operating
+ * point: @p q is the pipelined fill interval, @p phi the measured
+ * stalling factor for the partially-stalling entry (both ignored
+ * by the features that don't use them).
+ */
+double featureMissFactor(const TradeoffContext &ctx,
+                         TradeFeature feature, double q, double phi);
+
+/**
  * The mu_m beyond which feature A's miss factor exceeds feature
  * B's (e.g. pipelined vs. double bus, Sec. 5.3).  Returns nullopt
  * when no crossover exists in [mu_lo, mu_hi].

@@ -57,23 +57,31 @@ measurePhi(const PhiExperiment &experiment,
     return result;
 }
 
+void
+appendPhiAverage(std::vector<PhiResult> &results)
+{
+    UATM_ASSERT(!results.empty(), "no phi rows to average");
+    double phi_sum = 0.0;
+    double pct_sum = 0.0;
+    for (const auto &row : results) {
+        phi_sum += row.phi;
+        pct_sum += row.percentOfFull;
+    }
+    PhiResult average;
+    average.workload = "average";
+    const auto n = static_cast<double>(results.size());
+    average.phi = phi_sum / n;
+    average.percentOfFull = pct_sum / n;
+    results.push_back(average);
+}
+
 std::vector<PhiResult>
 measurePhiAllProfiles(const PhiExperiment &experiment)
 {
     std::vector<PhiResult> results;
-    double phi_sum = 0.0;
-    double pct_sum = 0.0;
-    for (const auto &name : Spec92Profile::names()) {
+    for (const auto &name : Spec92Profile::names())
         results.push_back(measurePhi(experiment, name));
-        phi_sum += results.back().phi;
-        pct_sum += results.back().percentOfFull;
-    }
-    PhiResult average;
-    average.workload = "average";
-    const auto n = static_cast<double>(Spec92Profile::names().size());
-    average.phi = phi_sum / n;
-    average.percentOfFull = pct_sum / n;
-    results.push_back(average);
+    appendPhiAverage(results);
     return results;
 }
 

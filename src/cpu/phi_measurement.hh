@@ -59,6 +59,14 @@ PhiResult measurePhi(const PhiExperiment &experiment,
                      const std::string &profile_name);
 
 /**
+ * Append the Figure 1 "average" row — the unweighted mean of phi
+ * and of the percent-of-ceiling across the rows already present.
+ * Shared by the serial and the scenario-layer parallel drivers so
+ * both emit the same row.
+ */
+void appendPhiAverage(std::vector<PhiResult> &results);
+
+/**
  * Measure phi on all six profiles and append an "average" row,
  * which is the quantity Figure 1 plots.
  */

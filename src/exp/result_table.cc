@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Implementation of the experiment-layer result table.
+ */
+
+#include "exp/result_table.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace uatm::exp {
+
+Cell
+Cell::text(std::string text)
+{
+    Cell cell;
+    cell.text_ = std::move(text);
+    return cell;
+}
+
+Cell
+Cell::num(double value, int precision)
+{
+    Cell cell;
+    cell.text_ = TextTable::num(value, precision);
+    cell.value_ = value;
+    cell.numeric_ = true;
+    return cell;
+}
+
+Cell
+Cell::integer(std::int64_t value)
+{
+    Cell cell;
+    cell.text_ = std::to_string(value);
+    cell.value_ = static_cast<double>(value);
+    cell.numeric_ = true;
+    return cell;
+}
+
+const char *
+tableFormatName(TableFormat format)
+{
+    switch (format) {
+      case TableFormat::Text:
+        return "text";
+      case TableFormat::Csv:
+        return "csv";
+      case TableFormat::Json:
+        return "json";
+    }
+    return "?";
+}
+
+TableFormat
+parseTableFormat(const std::string &name)
+{
+    if (name == "text")
+        return TableFormat::Text;
+    if (name == "csv")
+        return TableFormat::Csv;
+    if (name == "json")
+        return TableFormat::Json;
+    fatal("unknown table format '", name,
+          "' (expected text, csv or json)");
+}
+
+ResultTable::ResultTable(std::string name,
+                         std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns))
+{
+    UATM_ASSERT(!columns_.empty(), "a table needs columns");
+}
+
+void
+ResultTable::addRow(std::vector<Cell> cells)
+{
+    UATM_ASSERT(cells.size() == columns_.size(), "row arity ",
+                cells.size(), " != column count ", columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+const Cell &
+ResultTable::at(std::size_t row, std::size_t col) const
+{
+    UATM_ASSERT(row < rows_.size(), "row ", row, " out of range");
+    UATM_ASSERT(col < columns_.size(), "col ", col, " out of range");
+    return rows_[row][col];
+}
+
+std::string
+ResultTable::render(TableFormat format) const
+{
+    switch (format) {
+      case TableFormat::Text:
+        return renderText();
+      case TableFormat::Csv:
+        return renderCsv();
+      case TableFormat::Json:
+        return renderJson();
+    }
+    fatal("bad table format ", int(format));
+}
+
+std::string
+ResultTable::renderText() const
+{
+    TextTable table(columns_);
+    for (const auto &row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const auto &cell : row)
+            cells.push_back(cell.str());
+        table.addRow(std::move(cells));
+    }
+    return table.render();
+}
+
+std::string
+ResultTable::renderCsv() const
+{
+    std::string out;
+    auto writeRow = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += ',';
+            out += CsvWriter::escape(cells[i]);
+        }
+        out += '\n';
+    };
+    writeRow(columns_);
+    for (const auto &row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const auto &cell : row)
+            cells.push_back(cell.str());
+        writeRow(cells);
+    }
+    return out;
+}
+
+std::string
+ResultTable::renderJson() const
+{
+    obs::JsonWriter json;
+    json.beginObject()
+        .keyValue("schema_version", kResultTableSchemaVersion)
+        .keyValue("name", name_);
+    json.key("columns").beginArray();
+    for (const auto &column : columns_)
+        json.value(column);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const auto &row : rows_) {
+        json.beginArray();
+        for (const auto &cell : row) {
+            if (cell.numeric())
+                json.value(cell.value());
+            else
+                json.value(cell.str());
+        }
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+const std::string &
+ResultTable::emit(TableFormat format,
+                  const std::string &out_path) const
+{
+    rendered_ = render(format);
+    if (out_path.empty()) {
+        std::fputs(rendered_.c_str(), stdout);
+        if (!rendered_.empty() && rendered_.back() != '\n')
+            std::fputs("\n", stdout);
+    } else {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot open '", out_path, "' for writing");
+        out << rendered_;
+        if (!rendered_.empty() && rendered_.back() != '\n')
+            out << '\n';
+        if (!out)
+            fatal("failed writing '", out_path, "'");
+    }
+    return rendered_;
+}
+
+} // namespace uatm::exp

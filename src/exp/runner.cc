@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Implementation of the sharded parallel runner.
+ */
+
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/registry.hh"
+#include "obs/trace_event.hh"
+#include "util/logging.hh"
+
+namespace uatm::exp {
+
+void
+RunnerStats::registerStats(obs::StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".points",
+                       static_cast<double>(points),
+                       "scenario points evaluated");
+    registry.addScalar(prefix + ".threads_requested",
+                       threadsRequested,
+                       "worker threads requested");
+    registry.addScalar(prefix + ".threads_used", threadsUsed,
+                       "worker threads actually spawned");
+    registry.addScalar(prefix + ".wall_seconds", wallSeconds,
+                       "wall-clock time of the run", "s");
+    registry.addScalar(prefix + ".point_seconds_total",
+                       pointSecondsTotal,
+                       "summed per-point kernel time", "s");
+}
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+unsigned
+Runner::effectiveThreads(std::size_t points) const
+{
+    unsigned threads = options_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    // The global event tracer's ring buffer is not synchronised;
+    // a traced run must stay serial to keep the trace coherent.
+    if (obs::globalTracer().enabled())
+        threads = 1;
+    if (points < threads)
+        threads = points ? static_cast<unsigned>(points) : 1;
+    return threads;
+}
+
+ResultTable
+Runner::run(const Scenario &scenario,
+            const std::vector<std::string> &value_columns,
+            const Kernel &kernel)
+{
+    UATM_ASSERT(kernel != nullptr, "runner needs a kernel");
+
+    std::vector<Point> points = scenario.expand();
+
+    std::vector<std::string> columns = scenario.axisNames();
+    columns.insert(columns.end(), value_columns.begin(),
+                   value_columns.end());
+    ResultTable table(scenario.name(), columns);
+
+    unsigned requested =
+        options_.threads ? options_.threads
+                         : std::thread::hardware_concurrency();
+    unsigned threads = effectiveThreads(points.size());
+
+    std::vector<std::vector<Cell>> slots(points.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<double> kernelSeconds{0.0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    auto worker = [&]() {
+        double localSeconds = 0.0;
+        while (true) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                break;
+            auto start = std::chrono::steady_clock::now();
+            try {
+                slots[i] = kernel(points[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                // Drain the queue so the pool winds down fast.
+                next.store(points.size(),
+                           std::memory_order_relaxed);
+                break;
+            }
+            localSeconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        }
+        double expected =
+            kernelSeconds.load(std::memory_order_relaxed);
+        while (!kernelSeconds.compare_exchange_weak(
+            expected, expected + localSeconds,
+            std::memory_order_relaxed))
+            ;
+    };
+
+    auto wallStart = std::chrono::steady_clock::now();
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+    double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        UATM_ASSERT(slots[i].size() == value_columns.size(),
+                    "kernel returned ", slots[i].size(),
+                    " cells for point ", i, ", expected ",
+                    value_columns.size());
+        std::vector<Cell> row;
+        row.reserve(columns.size());
+        for (const auto &coord : points[i].coords)
+            row.push_back(Cell::text(coord.label));
+        for (auto &cell : slots[i])
+            row.push_back(std::move(cell));
+        table.addRow(std::move(row));
+    }
+
+    stats_.points = points.size();
+    stats_.threadsRequested = requested ? requested : 1;
+    stats_.threadsUsed = threads;
+    stats_.wallSeconds = wallSeconds;
+    stats_.pointSecondsTotal =
+        kernelSeconds.load(std::memory_order_relaxed);
+    return table;
+}
+
+} // namespace uatm::exp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sharded parallel scenario runner.
+ *
+ * Runner::run expands a Scenario into its flat point list and
+ * evaluates the points on a fixed-size worker pool.  Each worker
+ * pulls the next un-evaluated point (atomic work-stealing index),
+ * builds its own trace source from the point's WorkloadSpec, and
+ * writes its cells into a slot pre-sized by point index — so the
+ * merged ResultTable is byte-identical whether one thread ran the
+ * whole grid or eight shared it.
+ *
+ * Point kernels must be self-contained: no shared mutable state
+ * beyond what the Point carries.  The process-wide event tracer
+ * (UATM_TRACE) is not thread-safe, so the runner drops to one
+ * thread while it is armed rather than corrupt the trace.
+ */
+
+#ifndef UATM_EXP_RUNNER_HH
+#define UATM_EXP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/result_table.hh"
+#include "exp/scenario.hh"
+
+namespace uatm::obs {
+class StatRegistry;
+}
+
+namespace uatm::exp {
+
+struct RunnerOptions
+{
+    /** Worker count; 0 means std::thread::hardware_concurrency(). */
+    unsigned threads = 1;
+};
+
+/** What one run did, for manifests and the observability layer. */
+struct RunnerStats
+{
+    std::size_t points = 0;
+    unsigned threadsRequested = 0;
+    unsigned threadsUsed = 0;
+    double wallSeconds = 0.0;
+    /** Sum of per-point kernel time across all workers. */
+    double pointSecondsTotal = 0.0;
+
+    void registerStats(obs::StatRegistry &registry,
+                       const std::string &prefix = "runner") const;
+};
+
+class Runner
+{
+  public:
+    /** Evaluates one point into the value columns' cells. */
+    using Kernel = std::function<std::vector<Cell>(const Point &)>;
+
+    explicit Runner(RunnerOptions options = {});
+
+    /**
+     * Evaluate every point of @p scenario.  The returned table's
+     * columns are the scenario's axis names followed by
+     * @p value_columns; each row is the point's coordinate labels
+     * followed by the kernel's cells, in expansion order.
+     */
+    ResultTable run(const Scenario &scenario,
+                    const std::vector<std::string> &value_columns,
+                    const Kernel &kernel);
+
+    /** Stats from the most recent run(). */
+    const RunnerStats &lastStats() const { return stats_; }
+
+    /** Threads run() would actually use right now. */
+    unsigned effectiveThreads(std::size_t points) const;
+
+  private:
+    RunnerOptions options_;
+    RunnerStats stats_;
+};
+
+} // namespace uatm::exp
+
+#endif // UATM_EXP_RUNNER_HH

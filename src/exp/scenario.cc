@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Scenario expansion: cross the declared axes into a flat,
+ * deterministically ordered point list.
+ */
+
+#include "exp/scenario.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace uatm::exp {
+
+AxisValue
+AxisValue::ofNumber(double value)
+{
+    char buf[48];
+    if (value == std::floor(value) && std::abs(value) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+    else
+        std::snprintf(buf, sizeof(buf), "%g", value);
+    return AxisValue{buf, value};
+}
+
+double
+Point::coord(const std::string &axis) const
+{
+    for (const auto &coord : coords)
+        if (coord.axis == axis)
+            return coord.value;
+    fatal("point has no axis '", axis, "'");
+}
+
+const std::string &
+Point::coordLabel(const std::string &axis) const
+{
+    for (const auto &coord : coords)
+        if (coord.axis == axis)
+            return coord.label;
+    fatal("point has no axis '", axis, "'");
+}
+
+std::string
+Point::label() const
+{
+    std::string out;
+    for (const auto &coord : coords) {
+        if (!out.empty())
+            out += ' ';
+        out += coord.axis;
+        out += '=';
+        out += coord.label;
+    }
+    if (out.empty())
+        out = "point";
+    return out;
+}
+
+Scenario::Scenario(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description))
+{
+}
+
+Scenario &
+Scenario::sweep(const std::string &axis,
+                const std::vector<double> &values, Applier apply)
+{
+    std::vector<AxisValue> labelled;
+    labelled.reserve(values.size());
+    for (double value : values)
+        labelled.push_back(AxisValue::ofNumber(value));
+    return sweepLabeled(axis, std::move(labelled), std::move(apply));
+}
+
+Scenario &
+Scenario::sweepLabeled(const std::string &axis,
+                       std::vector<AxisValue> values, Applier apply)
+{
+    UATM_ASSERT(!values.empty(), "axis '", axis, "' has no values");
+    UATM_ASSERT(apply != nullptr, "axis '", axis,
+                "' has no applier");
+    for (const auto &existing : axes_)
+        UATM_ASSERT(existing.name != axis, "axis '", axis,
+                    "' declared twice");
+    axes_.push_back(
+        Axis{axis, std::move(values), std::move(apply)});
+    return *this;
+}
+
+Scenario &
+Scenario::sweepWorkloads(const std::vector<std::string> &profiles)
+{
+    std::vector<AxisValue> values;
+    values.reserve(profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i)
+        values.push_back(
+            AxisValue{profiles[i], static_cast<double>(i)});
+    return sweepLabeled(
+        "workload", std::move(values),
+        [](Point &point, const AxisValue &value) {
+            point.workload.kind = WorkloadSpec::Kind::Spec92;
+            point.workload.profile = value.label;
+        });
+}
+
+std::vector<std::string>
+Scenario::axisNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(axes_.size());
+    for (const auto &axis : axes_)
+        names.push_back(axis.name);
+    return names;
+}
+
+std::size_t
+Scenario::pointCount() const
+{
+    std::size_t count = 1;
+    for (const auto &axis : axes_)
+        count *= axis.values.size();
+    return count;
+}
+
+std::vector<Point>
+Scenario::expand() const
+{
+    std::vector<Point> points;
+    points.reserve(pointCount());
+
+    // Odometer over the axes: indices[0] (first declared axis)
+    // turns slowest, matching the nested loops this replaces.
+    std::vector<std::size_t> indices(axes_.size(), 0);
+    while (true) {
+        Point point;
+        point.index = points.size();
+        point.cache = cache;
+        point.memory = memory;
+        point.writeBuffer = writeBuffer;
+        point.cpu = cpu;
+        point.workload = workload;
+        point.refs = refs;
+        point.warmupRefs = warmupRefs;
+        point.coords.reserve(axes_.size());
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const AxisValue &value = axes_[a].values[indices[a]];
+            point.coords.push_back(
+                Coord{axes_[a].name, value.label, value.value});
+            axes_[a].apply(point, value);
+        }
+        points.push_back(std::move(point));
+
+        std::size_t a = axes_.size();
+        while (a > 0) {
+            --a;
+            if (++indices[a] < axes_[a].values.size())
+                break;
+            indices[a] = 0;
+            if (a == 0)
+                return points;
+        }
+        if (axes_.empty())
+            return points;
+    }
+}
+
+} // namespace uatm::exp

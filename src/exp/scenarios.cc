@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Implementation of the standing scenario builders.
+ */
+
+#include "exp/scenarios.hh"
+
+#include <utility>
+
+#include "trace/generators.hh"
+#include "util/logging.hh"
+
+namespace uatm::exp {
+
+namespace {
+
+constexpr int kRatioPrecision = 6;
+
+const char *
+geometryAxisName(GeometrySweep::Axis axis)
+{
+    return axis == GeometrySweep::Axis::Size ? "size" : "line";
+}
+
+SweepPoint
+evalGeometryPoint(const Point &point, std::uint64_t value)
+{
+    auto source = point.workload.make();
+    const auto run = runCacheSim(point.cache, *source, point.refs,
+                                 point.warmupRefs);
+    return SweepPoint{value, run.hitRatio(), run.missRatio(),
+                      run.flushRatio()};
+}
+
+std::vector<Cell>
+sweepPointCells(const SweepPoint &sample)
+{
+    return {Cell::num(sample.hitRatio, kRatioPrecision),
+            Cell::num(sample.missRatio, kRatioPrecision),
+            Cell::num(sample.flushRatio, kRatioPrecision)};
+}
+
+} // namespace
+
+Scenario
+makeGeometryScenario(const GeometrySweep &spec)
+{
+    UATM_ASSERT(!spec.values.empty(), "geometry sweep has no values");
+    const char *axis = geometryAxisName(spec.axis);
+    Scenario scenario(
+        spec.axis == GeometrySweep::Axis::Size ? "cache_size_sweep"
+                                               : "line_size_sweep",
+        "cache geometry sweep over the " + std::string(axis) +
+            " axis");
+    scenario.cache = spec.base;
+    scenario.workload = spec.workload;
+    scenario.refs = spec.refs;
+    scenario.warmupRefs = spec.warmupRefs;
+
+    std::vector<double> values;
+    values.reserve(spec.values.size());
+    for (std::uint64_t value : spec.values)
+        values.push_back(static_cast<double>(value));
+
+    const bool size_axis = spec.axis == GeometrySweep::Axis::Size;
+    scenario.sweep(axis, values,
+                   [size_axis](Point &point, const AxisValue &v) {
+                       if (size_axis)
+                           point.cache.sizeBytes =
+                               static_cast<std::uint64_t>(v.value);
+                       else
+                           point.cache.lineBytes =
+                               static_cast<std::uint32_t>(v.value);
+                   });
+    return scenario;
+}
+
+ResultTable
+runGeometrySweep(const GeometrySweep &spec, Runner &runner,
+                 std::vector<SweepPoint> *points)
+{
+    Scenario scenario = makeGeometryScenario(spec);
+    const std::string axis = geometryAxisName(spec.axis);
+
+    std::vector<SweepPoint> samples(scenario.pointCount());
+    ResultTable table = runner.run(
+        scenario, {"hit_ratio", "miss_ratio", "flush_ratio"},
+        [&axis, &samples](const Point &point) {
+            const auto value =
+                static_cast<std::uint64_t>(point.coord(axis));
+            SweepPoint sample = evalGeometryPoint(point, value);
+            samples[point.index] = sample;
+            return sweepPointCells(sample);
+        });
+    if (points)
+        *points = std::move(samples);
+    return table;
+}
+
+std::vector<SweepPoint>
+sweepCacheSizeParallel(const CacheConfig &base,
+                       const WorkloadSpec &workload,
+                       const std::vector<std::uint64_t> &sizes,
+                       std::uint64_t refs, std::uint64_t warmup_refs,
+                       unsigned threads)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Size;
+    spec.base = base;
+    spec.workload = workload;
+    spec.values = sizes;
+    spec.refs = refs;
+    spec.warmupRefs = warmup_refs;
+    Runner runner(RunnerOptions{threads});
+    std::vector<SweepPoint> points;
+    runGeometrySweep(spec, runner, &points);
+    return points;
+}
+
+std::vector<SweepPoint>
+sweepLineSizeParallel(const CacheConfig &base,
+                      const WorkloadSpec &workload,
+                      const std::vector<std::uint32_t> &line_sizes,
+                      std::uint64_t refs, std::uint64_t warmup_refs,
+                      unsigned threads)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Line;
+    spec.base = base;
+    spec.workload = workload;
+    spec.values.assign(line_sizes.begin(), line_sizes.end());
+    spec.refs = refs;
+    spec.warmupRefs = warmup_refs;
+    Runner runner(RunnerOptions{threads});
+    std::vector<SweepPoint> points;
+    runGeometrySweep(spec, runner, &points);
+    return points;
+}
+
+Scenario
+makePhiScenario(const PhiExperiment &experiment)
+{
+    Scenario scenario("phi_measurement",
+                      "stalling factor phi over the six profiles "
+                      "(Figure 1)");
+    scenario.cache = experiment.cache;
+    scenario.refs = experiment.refs;
+    scenario.workload = WorkloadSpec::none();
+    scenario.sweepWorkloads(Spec92Profile::names());
+    return scenario;
+}
+
+namespace {
+
+std::vector<PhiResult>
+runPhiPoints(const PhiExperiment &experiment, Runner &runner,
+             ResultTable *table_out)
+{
+    Scenario scenario = makePhiScenario(experiment);
+    std::vector<PhiResult> results(scenario.pointCount());
+    ResultTable table = runner.run(
+        scenario, {"phi", "pct_of_full"},
+        [&experiment, &results](const Point &point) {
+            PhiResult result = measurePhi(
+                experiment, point.coordLabel("workload"));
+            results[point.index] = result;
+            return std::vector<Cell>{
+                Cell::num(result.phi, 3),
+                Cell::num(result.percentOfFull, 1)};
+        });
+    if (table_out)
+        *table_out = std::move(table);
+    return results;
+}
+
+} // namespace
+
+ResultTable
+runPhiScenario(const PhiExperiment &experiment, Runner &runner)
+{
+    ResultTable table;
+    std::vector<PhiResult> results =
+        runPhiPoints(experiment, runner, &table);
+    appendPhiAverage(results);
+    const PhiResult &average = results.back();
+    table.addRow({Cell::text(average.workload),
+                  Cell::num(average.phi, 3),
+                  Cell::num(average.percentOfFull, 1)});
+    return table;
+}
+
+std::vector<PhiResult>
+measurePhiAllProfilesParallel(const PhiExperiment &experiment,
+                              unsigned threads)
+{
+    Runner runner(RunnerOptions{threads});
+    std::vector<PhiResult> results =
+        runPhiPoints(experiment, runner, nullptr);
+    appendPhiAverage(results);
+    return results;
+}
+
+Scenario
+makeFeatureGridScenario(const FeatureGrid &grid)
+{
+    UATM_ASSERT(!grid.cycleTimes.empty(),
+                "feature grid has no cycle times");
+    UATM_ASSERT(!grid.features.empty(),
+                "feature grid has no features");
+    Scenario scenario("feature_grid",
+                      "Sec. 5.3 unified feature comparison");
+    scenario.workload = WorkloadSpec::none();
+
+    // Analytic scenario: the coordinates are the whole state, so
+    // both appliers leave the point's configs untouched.
+    scenario.sweep("mu_m", grid.cycleTimes,
+                   [](Point &, const AxisValue &) {});
+
+    std::vector<AxisValue> features;
+    features.reserve(grid.features.size());
+    for (TradeFeature feature : grid.features)
+        features.push_back(
+            AxisValue{tradeFeatureName(feature),
+                      static_cast<double>(
+                          static_cast<int>(feature))});
+    scenario.sweepLabeled("feature", std::move(features),
+                          [](Point &, const AxisValue &) {});
+    return scenario;
+}
+
+ResultTable
+runFeatureGrid(const FeatureGrid &grid, Runner &runner)
+{
+    Scenario scenario = makeFeatureGridScenario(grid);
+    return runner.run(
+        scenario, {"miss_factor", "dhr", "equiv_hr"},
+        [&grid](const Point &point) {
+            TradeoffContext ctx = grid.ctx;
+            ctx.machine =
+                grid.ctx.machine.withCycleTime(point.coord("mu_m"));
+            const auto feature = static_cast<TradeFeature>(
+                static_cast<int>(point.coord("feature")));
+            const double r = featureMissFactor(ctx, feature, grid.q,
+                                               grid.phiPartial);
+            const double dhr =
+                hitRatioTraded(r, grid.baseHitRatio);
+            return std::vector<Cell>{
+                Cell::num(r, 3), Cell::num(dhr, 4),
+                Cell::num(grid.baseHitRatio - dhr, 4)};
+        });
+}
+
+LineTradeoffResult
+runLineTradeoff(const LineTradeoff &spec, Runner &runner)
+{
+    UATM_ASSERT(!spec.lineSizes.empty(),
+                "line tradeoff has no line sizes");
+
+    GeometrySweep sweep;
+    sweep.axis = GeometrySweep::Axis::Line;
+    sweep.base = spec.base;
+    sweep.workload = spec.workload;
+    sweep.values.assign(spec.lineSizes.begin(),
+                        spec.lineSizes.end());
+    sweep.refs = spec.refs;
+    sweep.warmupRefs = spec.warmupRefs;
+
+    std::vector<SweepPoint> points;
+    runGeometrySweep(sweep, runner, &points);
+
+    MissRatioTable missRatios =
+        MissRatioTable::fromSweep("measured", points);
+
+    LineTradeoffResult result{
+        std::move(missRatios),
+        ResultTable("line_tradeoff",
+                    {"line", "miss_ratio", "smith_objective",
+                     "reduced_delay"}),
+        0, 0};
+    result.recommended = tradeoffOptimalLine(
+        result.missRatios, spec.delay, spec.baseLine);
+    result.smith = smithOptimalLine(result.missRatios, spec.delay);
+
+    for (const auto &entry : result.missRatios.points()) {
+        const double objective = spec.delay.smithObjective(
+            entry.missRatio, static_cast<double>(entry.lineBytes));
+        Cell reduction = Cell::text("-");
+        if (entry.lineBytes > spec.baseLine)
+            reduction = Cell::num(
+                reducedDelay(result.missRatios, spec.delay,
+                             spec.baseLine, entry.lineBytes),
+                kRatioPrecision);
+        result.table.addRow(
+            {Cell::integer(entry.lineBytes),
+             Cell::num(entry.missRatio, kRatioPrecision),
+             Cell::num(objective, 4), std::move(reduction)});
+    }
+    return result;
+}
+
+} // namespace uatm::exp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the declarative workload spec.
+ */
+
+#include "exp/workload_spec.hh"
+
+#include "trace/generators.hh"
+#include "trace/ifetch.hh"
+#include "util/logging.hh"
+
+namespace uatm::exp {
+
+WorkloadSpec
+WorkloadSpec::spec92(std::string profile, std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::Spec92;
+    spec.profile = std::move(profile);
+    spec.seed = seed;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::shortLevy(std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::ShortLevy;
+    spec.profile = "short-levy";
+    spec.seed = seed;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::custom(
+    std::string name,
+    std::function<std::unique_ptr<TraceSource>()> factory)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::Custom;
+    spec.profile = std::move(name);
+    spec.factory = std::move(factory);
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::none()
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::None;
+    spec.profile = "-";
+    return spec;
+}
+
+std::string
+WorkloadSpec::describe() const
+{
+    if (kind == Kind::None)
+        return "analytic";
+    std::string out = profile;
+    out += " (seed ";
+    out += std::to_string(seed);
+    out += ")";
+    if (withIFetch)
+        out += " +ifetch";
+    return out;
+}
+
+std::unique_ptr<TraceSource>
+WorkloadSpec::make() const
+{
+    std::unique_ptr<TraceSource> data;
+    switch (kind) {
+      case Kind::None:
+        fatal("analytic workload spec cannot build a source");
+      case Kind::Spec92:
+        data = Spec92Profile::make(profile, seed);
+        break;
+      case Kind::ShortLevy:
+        data = ShortLevyWorkload::make(seed);
+        break;
+      case Kind::Custom:
+        UATM_ASSERT(factory != nullptr,
+                    "custom workload spec without a factory");
+        data = factory();
+        UATM_ASSERT(data != nullptr,
+                    "custom workload factory returned null");
+        break;
+    }
+    if (!withIFetch)
+        return data;
+    return std::make_unique<IFetchInterleaver>(
+        std::move(data), IFetchConfig{}, Rng(seed ^ 0xf00d));
+}
+
+} // namespace uatm::exp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Declarative workload description for the experiment layer.
+ *
+ * A WorkloadSpec names *how to build* a trace source rather than
+ * holding one: every shard of a parallel run calls make() and gets
+ * its own deterministically reseeded stream, so N workers see
+ * exactly the byte stream one worker would have seen.
+ */
+
+#ifndef UATM_EXP_WORKLOAD_SPEC_HH
+#define UATM_EXP_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace uatm::exp {
+
+struct WorkloadSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        None,      ///< analytic point; make() fatal()s
+        Spec92,    ///< Spec92Profile::make(profile, seed)
+        ShortLevy, ///< ShortLevyWorkload::make(seed)
+        Custom,    ///< user factory (must be pure in its captures)
+    };
+
+    Kind kind = Kind::Spec92;
+
+    /** Spec92 profile name. */
+    std::string profile = "nasa7";
+
+    std::uint64_t seed = 1;
+
+    /** Interleave an instruction-fetch stream (IFetchInterleaver,
+     *  seeded from @ref seed). */
+    bool withIFetch = false;
+
+    /**
+     * Factory for Kind::Custom.  Called once per point evaluation,
+     * possibly from several threads at once — it must build a fresh
+     * source from captured configuration only (clone() an exemplar
+     * source, or construct from a seed).
+     */
+    std::function<std::unique_ptr<TraceSource>()> factory;
+
+    /** Spec92 spec for @p profile at @p seed. */
+    static WorkloadSpec spec92(std::string profile,
+                               std::uint64_t seed = 1);
+
+    /** Short & Levy mix at @p seed. */
+    static WorkloadSpec shortLevy(std::uint64_t seed = 1);
+
+    /** Custom factory spec labelled @p name. */
+    static WorkloadSpec
+    custom(std::string name,
+           std::function<std::unique_ptr<TraceSource>()> factory);
+
+    /** Marker for analytic scenarios that touch no trace. */
+    static WorkloadSpec none();
+
+    /** "nasa7 (seed 1)", "short-levy (seed 3)", ... */
+    std::string describe() const;
+
+    /**
+     * Build a fresh source, rewound to the stream's beginning.
+     * Deterministic: two calls on the same spec produce identical
+     * streams.  fatal() for Kind::None.
+     */
+    std::unique_ptr<TraceSource> make() const;
+};
+
+} // namespace uatm::exp
+
+#endif // UATM_EXP_WORKLOAD_SPEC_HH

@@ -59,6 +59,14 @@ StrideGenerator::reset()
     index_ = 0;
 }
 
+std::unique_ptr<TraceSource>
+StrideGenerator::clone() const
+{
+    // Rebuild from (config, initial RNG): the clone replays from
+    // the beginning even when this instance is mid-stream.
+    return std::make_unique<StrideGenerator>(config_, initialRng_);
+}
+
 // --------------------------------------------------------------------
 // LoopNestGenerator
 // --------------------------------------------------------------------
@@ -124,6 +132,12 @@ LoopNestGenerator::reset()
     leg_ = 0;
 }
 
+std::unique_ptr<TraceSource>
+LoopNestGenerator::clone() const
+{
+    return std::make_unique<LoopNestGenerator>(config_, initialRng_);
+}
+
 // --------------------------------------------------------------------
 // PointerChaseGenerator
 // --------------------------------------------------------------------
@@ -185,6 +199,13 @@ PointerChaseGenerator::reset()
     rng_ = initialRng_;
     node_ = 0;
     field_ = 0;
+}
+
+std::unique_ptr<TraceSource>
+PointerChaseGenerator::clone() const
+{
+    return std::make_unique<PointerChaseGenerator>(config_,
+                                                   initialRng_);
 }
 
 // --------------------------------------------------------------------
@@ -279,6 +300,13 @@ WorkingSetGenerator::reset()
     seedStack();
 }
 
+std::unique_ptr<TraceSource>
+WorkingSetGenerator::clone() const
+{
+    return std::make_unique<WorkingSetGenerator>(config_,
+                                                 initialRng_);
+}
+
 // --------------------------------------------------------------------
 // PhaseMixGenerator
 // --------------------------------------------------------------------
@@ -326,6 +354,20 @@ PhaseMixGenerator::reset()
         phase.source->reset();
     current_ = 0;
     emitted_ = 0;
+}
+
+std::unique_ptr<TraceSource>
+PhaseMixGenerator::clone() const
+{
+    std::vector<Phase> copies;
+    copies.reserve(phases_.size());
+    for (const auto &phase : phases_) {
+        auto child = phase.source->clone();
+        if (!child)
+            return nullptr;
+        copies.push_back(Phase{std::move(child), phase.length});
+    }
+    return std::make_unique<PhaseMixGenerator>(std::move(copies));
 }
 
 // --------------------------------------------------------------------

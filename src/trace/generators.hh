@@ -71,6 +71,7 @@ class StrideGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     Config config_;
@@ -107,6 +108,7 @@ class LoopNestGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     Config config_;
@@ -146,6 +148,7 @@ class PointerChaseGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     Config config_;
@@ -190,6 +193,7 @@ class WorkingSetGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     Config config_;
@@ -222,6 +226,10 @@ class PhaseMixGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+
+    /** Clones every child from its beginning; nullptr when any
+     *  child is itself uncloneable. */
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::vector<Phase> phases_;

@@ -69,6 +69,13 @@ Trace::next()
     return refs_[cursor_++];
 }
 
+std::unique_ptr<TraceSource>
+Trace::clone() const
+{
+    // The copy starts rewound whatever this instance's cursor says.
+    return std::make_unique<Trace>(refs_);
+}
+
 LimitedSource::LimitedSource(TraceSource &source, std::uint64_t limit)
     : source_(source), limit_(limit)
 {

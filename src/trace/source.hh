@@ -11,6 +11,7 @@
 #define UATM_TRACE_SOURCE_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,23 @@ class TraceSource
 
     /** Restart the source from the beginning. */
     virtual void reset() = 0;
+
+    /**
+     * An independent source that replays the identical stream *from
+     * the beginning* — regardless of how far this instance has been
+     * consumed.  This is what lets a parallel runner hand every
+     * shard its own deterministically reseeded copy of one
+     * workload.  Note the rewound semantics: a raw copy of a used
+     * generator would resume mid-stream with mutated RNG state,
+     * which is exactly the cloning bug clone() exists to prevent.
+     *
+     * Sources that borrow external state they cannot duplicate
+     * return nullptr (e.g. LimitedSource).
+     */
+    virtual std::unique_ptr<TraceSource> clone() const
+    {
+        return nullptr;
+    }
 
     /**
      * Drain up to @p max_refs references into a vector.  Useful for
@@ -65,6 +83,7 @@ class Trace : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override { cursor_ = 0; }
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::vector<MemoryReference> refs_;

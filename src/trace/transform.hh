@@ -29,6 +29,7 @@ class OffsetSource : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::unique_ptr<TraceSource> inner_;
@@ -48,6 +49,7 @@ class SampleSource : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::unique_ptr<TraceSource> inner_;
@@ -64,6 +66,7 @@ class KindFilterSource : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::unique_ptr<TraceSource> inner_;
@@ -92,6 +95,7 @@ class TimeSliceSource : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::unique_ptr<TraceSource> clone() const override;
 
   private:
     std::vector<std::unique_ptr<TraceSource>> sources_;

@@ -67,4 +67,11 @@
 #include "linesize/line_tradeoff.hh"
 #include "linesize/miss_table.hh"
 
+// Experiment layer: scenarios, the parallel runner, result tables.
+#include "exp/result_table.hh"
+#include "exp/runner.hh"
+#include "exp/scenario.hh"
+#include "exp/scenarios.hh"
+#include "exp/workload_spec.hh"
+
 #endif // UATM_UATM_HH

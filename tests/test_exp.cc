@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the experiment layer: scenario expansion order, the
+ * ResultTable renderers, and — the core contract — that the
+ * sharded Runner merges results bit-identically at any thread
+ * count, including against the serial reference paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "cache/sweep.hh"
+#include "exp/result_table.hh"
+#include "exp/runner.hh"
+#include "exp/scenario.hh"
+#include "exp/scenarios.hh"
+#include "exp/workload_spec.hh"
+#include "obs/registry.hh"
+#include "trace/generators.hh"
+
+namespace uatm::exp {
+namespace {
+
+// ------------------------------------------------------- Scenario
+
+TEST(Scenario, NoAxesExpandToOnePoint)
+{
+    Scenario scenario("trivial");
+    EXPECT_EQ(scenario.pointCount(), 1u);
+    const auto points = scenario.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].index, 0u);
+    EXPECT_TRUE(points[0].coords.empty());
+}
+
+TEST(Scenario, ExpansionIsRowMajorFirstAxisSlowest)
+{
+    Scenario scenario("grid");
+    scenario.sweep("a", {1, 2},
+                   [](Point &, const AxisValue &) {});
+    scenario.sweep("b", {10, 20, 30},
+                   [](Point &, const AxisValue &) {});
+    EXPECT_EQ(scenario.pointCount(), 6u);
+
+    const auto points = scenario.expand();
+    ASSERT_EQ(points.size(), 6u);
+    const double expected[][2] = {{1, 10}, {1, 20}, {1, 30},
+                                  {2, 10}, {2, 20}, {2, 30}};
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_EQ(points[i].coord("a"), expected[i][0]);
+        EXPECT_EQ(points[i].coord("b"), expected[i][1]);
+    }
+}
+
+TEST(Scenario, AppliersSeeBaseConfigAndMutatePoints)
+{
+    Scenario scenario("applied");
+    scenario.cache.sizeBytes = 4096;
+    scenario.sweep("size", {8192, 16384},
+                   [](Point &point, const AxisValue &v) {
+                       point.cache.sizeBytes =
+                           static_cast<std::uint64_t>(v.value);
+                   });
+    const auto points = scenario.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].cache.sizeBytes, 8192u);
+    EXPECT_EQ(points[1].cache.sizeBytes, 16384u);
+}
+
+TEST(Scenario, PointLabelAndMissingAxis)
+{
+    Scenario scenario("labels");
+    scenario.sweepLabeled("feature", {{"FS", 0}},
+                          [](Point &, const AxisValue &) {});
+    const auto points = scenario.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].label(), "feature=FS");
+    EXPECT_EQ(points[0].coordLabel("feature"), "FS");
+    EXPECT_DEATH(points[0].coord("nope"), "no axis");
+}
+
+TEST(Scenario, NumericLabelsAreIntegralWhenExact)
+{
+    EXPECT_EQ(AxisValue::ofNumber(8192).label, "8192");
+    EXPECT_EQ(AxisValue::ofNumber(0.5).label, "0.5");
+}
+
+// ---------------------------------------------------- ResultTable
+
+TEST(ResultTable, TextCsvAndJsonRender)
+{
+    ResultTable table("demo", {"name", "x"});
+    table.addRow({Cell::text("alpha"), Cell::num(1.5, 2)});
+    table.addRow({Cell::text("has,comma"), Cell::integer(7)});
+
+    const std::string text = table.renderText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.50"), std::string::npos);
+
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("name,x"), std::string::npos);
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos)
+        << csv;
+
+    const std::string json = table.renderJson();
+    EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+    EXPECT_NE(json.find("\"demo\""), std::string::npos);
+    // Numeric cells emit as JSON numbers, not strings.
+    EXPECT_NE(json.find("7"), std::string::npos);
+    EXPECT_EQ(json.find("\"7\""), std::string::npos);
+}
+
+TEST(ResultTable, RowArityIsChecked)
+{
+    ResultTable table("demo", {"a", "b"});
+    EXPECT_DEATH(table.addRow({Cell::text("only one")}),
+                 "row arity");
+}
+
+TEST(ResultTable, ParseFormatNames)
+{
+    EXPECT_EQ(parseTableFormat("text"), TableFormat::Text);
+    EXPECT_EQ(parseTableFormat("csv"), TableFormat::Csv);
+    EXPECT_EQ(parseTableFormat("json"), TableFormat::Json);
+    EXPECT_DEATH(parseTableFormat("yaml"), "unknown table format");
+}
+
+// --------------------------------------------------- WorkloadSpec
+
+TEST(WorkloadSpec, MakeIsDeterministicAndRewound)
+{
+    const WorkloadSpec spec = WorkloadSpec::spec92("swm256", 17);
+    auto a = spec.make();
+    auto b = spec.make();
+    EXPECT_EQ(a->drain(400), b->drain(400));
+}
+
+TEST(WorkloadSpec, IFetchVariantInterleavesDeterministically)
+{
+    WorkloadSpec spec = WorkloadSpec::spec92("ear", 3);
+    spec.withIFetch = true;
+    auto a = spec.make();
+    auto b = spec.make();
+    const auto refs = a->drain(500);
+    EXPECT_EQ(refs, b->drain(500));
+    bool sawIFetch = false;
+    for (const auto &ref : refs)
+        sawIFetch |= ref.kind == RefKind::IFetch;
+    EXPECT_TRUE(sawIFetch);
+}
+
+// --------------------------------------------------------- Runner
+
+/** A mixed scenario: simulated sweep axis x workload axis. */
+Scenario
+mixedScenario()
+{
+    Scenario scenario("mixed");
+    scenario.refs = 5000;
+    scenario.workload = WorkloadSpec::spec92("nasa7", 7);
+    scenario.cache.assoc = 2;
+    scenario.cache.lineBytes = 32;
+    scenario.sweep("size", {4096, 8192, 16384},
+                   [](Point &point, const AxisValue &v) {
+                       point.cache.sizeBytes =
+                           static_cast<std::uint64_t>(v.value);
+                   });
+    scenario.sweepWorkloads({"nasa7", "ear"});
+    return scenario;
+}
+
+std::vector<Cell>
+mixedKernel(const Point &point)
+{
+    auto source = point.workload.make();
+    const auto run = runCacheSim(point.cache, *source, point.refs);
+    return {Cell::num(run.hitRatio(), 6),
+            Cell::num(run.missRatio(), 6)};
+}
+
+TEST(Runner, OneVsEightThreadsIsByteIdentical)
+{
+    Runner serial(RunnerOptions{1});
+    Runner wide(RunnerOptions{8});
+    const ResultTable a =
+        serial.run(mixedScenario(), {"hr", "mr"}, mixedKernel);
+    const ResultTable b =
+        wide.run(mixedScenario(), {"hr", "mr"}, mixedKernel);
+    EXPECT_EQ(a.renderText(), b.renderText());
+    EXPECT_EQ(a.renderCsv(), b.renderCsv());
+    EXPECT_EQ(a.renderJson(), b.renderJson());
+    EXPECT_EQ(serial.lastStats().threadsUsed, 1u);
+    EXPECT_EQ(serial.lastStats().points, 6u);
+}
+
+TEST(Runner, RowsMergeInExpansionOrder)
+{
+    Scenario scenario("ordered");
+    scenario.sweep("i", {0, 1, 2, 3, 4, 5, 6, 7},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{4});
+    const ResultTable table = runner.run(
+        scenario, {"twice"}, [](const Point &point) {
+            return std::vector<Cell>{
+                Cell::num(2.0 * point.coord("i"), 0)};
+        });
+    ASSERT_EQ(table.rows(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(table.at(i, 0).str(), std::to_string(i));
+        EXPECT_EQ(table.at(i, 1).value(), 2.0 * i);
+    }
+}
+
+TEST(Runner, ZeroThreadsMeansHardwareConcurrency)
+{
+    Runner runner(RunnerOptions{0});
+    unsigned expected = std::thread::hardware_concurrency();
+    if (expected == 0)
+        expected = 1;
+    // Capped by the number of points.
+    EXPECT_EQ(runner.effectiveThreads(1000), expected);
+    EXPECT_EQ(runner.effectiveThreads(1), 1u);
+}
+
+TEST(Runner, KernelExceptionPropagates)
+{
+    Scenario scenario("throws");
+    scenario.sweep("i", {0, 1, 2, 3},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{2});
+    EXPECT_THROW(
+        runner.run(scenario, {"x"},
+                   [](const Point &point) -> std::vector<Cell> {
+                       if (point.index == 2)
+                           throw std::runtime_error("boom");
+                       return {Cell::num(1.0)};
+                   }),
+        std::runtime_error);
+}
+
+TEST(Runner, StatsRegisterUnderPrefix)
+{
+    Runner runner(RunnerOptions{1});
+    Scenario scenario("tiny");
+    scenario.sweep("i", {0, 1},
+                   [](Point &, const AxisValue &) {});
+    runner.run(scenario, {"x"}, [](const Point &) {
+        return std::vector<Cell>{Cell::num(0.0)};
+    });
+    obs::StatRegistry registry;
+    runner.lastStats().registerStats(registry, "exp");
+    EXPECT_EQ(registry.value("exp.points"), 2.0);
+    EXPECT_EQ(registry.value("exp.threads_used"), 1.0);
+    EXPECT_TRUE(registry.contains("exp.wall_seconds"));
+}
+
+// ------------------------------------------- parallel == serial
+
+TEST(Scenarios, ParallelSizeSweepMatchesSerial)
+{
+    CacheConfig base;
+    base.assoc = 2;
+    base.lineBytes = 32;
+    const std::vector<std::uint64_t> sizes = {4096, 8192, 16384,
+                                              32768};
+    const std::uint64_t refs = 20000;
+
+    auto source = Spec92Profile::make("hydro2d", 23);
+    const auto serial =
+        sweepCacheSize(base, *source, sizes, refs, refs / 10);
+    const auto parallel = sweepCacheSizeParallel(
+        base, WorkloadSpec::spec92("hydro2d", 23), sizes, refs,
+        refs / 10, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].value, parallel[i].value);
+        EXPECT_EQ(serial[i].hitRatio, parallel[i].hitRatio);
+        EXPECT_EQ(serial[i].missRatio, parallel[i].missRatio);
+        EXPECT_EQ(serial[i].flushRatio, parallel[i].flushRatio);
+    }
+}
+
+TEST(Scenarios, ParallelLineSweepMatchesSerial)
+{
+    CacheConfig base;
+    base.sizeBytes = 8 * 1024;
+    base.assoc = 2;
+    const std::vector<std::uint32_t> lines = {16, 32, 64};
+    const std::uint64_t refs = 15000;
+
+    auto source = Spec92Profile::make("wave5", 31);
+    const auto serial =
+        sweepLineSize(base, *source, lines, refs);
+    const auto parallel = sweepLineSizeParallel(
+        base, WorkloadSpec::spec92("wave5", 31), lines, refs, 0,
+        3);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].value, parallel[i].value);
+        EXPECT_EQ(serial[i].missRatio, parallel[i].missRatio);
+    }
+}
+
+TEST(Scenarios, ParallelPhiMatchesSerial)
+{
+    PhiExperiment experiment;
+    experiment.refs = 20000;
+
+    const auto serial = measurePhiAllProfiles(experiment);
+    const auto parallel =
+        measurePhiAllProfilesParallel(experiment, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        EXPECT_EQ(serial[i].phi, parallel[i].phi);
+        EXPECT_EQ(serial[i].percentOfFull,
+                  parallel[i].percentOfFull);
+    }
+    EXPECT_EQ(parallel.back().workload, "average");
+}
+
+TEST(Scenarios, FeatureGridMatchesRankFeatures)
+{
+    FeatureGrid grid;
+    grid.ctx.machine.busWidth = 4;
+    grid.ctx.machine.lineBytes = 32;
+    grid.baseHitRatio = 0.95;
+    grid.phiPartial = 6.5;
+    grid.q = 2.0;
+    grid.cycleTimes = {8};
+
+    Runner runner(RunnerOptions{4});
+    const ResultTable table = runFeatureGrid(grid, runner);
+    ASSERT_EQ(table.rows(), 4u);
+
+    TradeoffContext ctx = grid.ctx;
+    ctx.machine = grid.ctx.machine.withCycleTime(8);
+    for (std::size_t row = 0; row < table.rows(); ++row) {
+        const TradeFeature feature = grid.features[row];
+        const double expected =
+            featureMissFactor(ctx, feature, grid.q,
+                              grid.phiPartial);
+        EXPECT_DOUBLE_EQ(table.at(row, 2).value(), expected)
+            << tradeFeatureName(feature);
+    }
+}
+
+TEST(Scenarios, LineTradeoffAgreesWithSmith)
+{
+    LineTradeoff spec;
+    spec.base.sizeBytes = 8 * 1024;
+    spec.base.assoc = 2;
+    spec.workload = WorkloadSpec::spec92("nasa7", 11);
+    spec.lineSizes = {8, 16, 32, 64};
+    spec.baseLine = 8;
+    spec.refs = 20000;
+
+    Runner runner(RunnerOptions{4});
+    const auto result = runLineTradeoff(spec, runner);
+    EXPECT_EQ(result.table.rows(), spec.lineSizes.size());
+    EXPECT_TRUE(result.missRatios.has(result.recommended));
+    EXPECT_TRUE(result.missRatios.has(result.smith));
+    // Sec. 5.4's core claim: the Eq. 19 selector and Smith's
+    // criterion pick the same line whenever Smith's optimum lies
+    // at or above the base line.
+    if (result.smith >= spec.baseLine) {
+        EXPECT_EQ(result.recommended, result.smith);
+    }
+}
+
+TEST(Scenarios, GeometryScenarioTablesByteIdenticalAcrossThreads)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Size;
+    spec.base.assoc = 2;
+    spec.base.lineBytes = 32;
+    spec.workload = WorkloadSpec::spec92("doduc", 2);
+    spec.values = {4096, 8192, 16384, 32768, 65536};
+    spec.refs = 10000;
+
+    Runner one(RunnerOptions{1});
+    Runner eight(RunnerOptions{8});
+    const std::string a =
+        runGeometrySweep(spec, one).renderCsv();
+    const std::string b =
+        runGeometrySweep(spec, eight).renderCsv();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace uatm::exp

@@ -9,7 +9,9 @@
 #include <unordered_set>
 
 #include "trace/generators.hh"
+#include "trace/ifetch.hh"
 #include "trace/trace_stats.hh"
+#include "trace/transform.hh"
 
 namespace uatm {
 namespace {
@@ -318,6 +320,95 @@ TEST(Spec92Profile, SeedsChangeTheStream)
     auto a = Spec92Profile::make("doduc", 1);
     auto b = Spec92Profile::make("doduc", 2);
     EXPECT_NE(a->drain(500), b->drain(500));
+}
+
+// ------------------------------------------------------------ clone()
+//
+// The regression these tests pin down: a parallel shard must not
+// naively copy a *used* generator (it would resume mid-stream with
+// mid-stream RNG state).  clone() is specified to rebuild from the
+// initial seed, so a clone of a drained source still replays the
+// stream from its very beginning.
+
+TEST(TraceSourceClone, CloneOfUsedSourceRewindsToStart)
+{
+    auto original = Spec92Profile::make("nasa7", 42);
+    auto pristine = Spec92Profile::make("nasa7", 42);
+    const auto head = pristine->drain(400);
+
+    original->drain(250); // leave the original mid-stream
+    auto copy = original->clone();
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->drain(400), head);
+}
+
+TEST(TraceSourceClone, EveryGeneratorKindClones)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.push_back(std::make_unique<StrideGenerator>(
+        StrideGenerator::Config{}, Rng(5)));
+    sources.push_back(std::make_unique<LoopNestGenerator>(
+        LoopNestGenerator::Config{}, Rng(5)));
+    sources.push_back(std::make_unique<PointerChaseGenerator>(
+        PointerChaseGenerator::Config{}, Rng(5)));
+    sources.push_back(std::make_unique<WorkingSetGenerator>(
+        WorkingSetGenerator::Config{}, Rng(5)));
+    sources.push_back(ShortLevyWorkload::make(5));
+    for (const auto &name : Spec92Profile::names())
+        sources.push_back(Spec92Profile::make(name, 5));
+
+    for (auto &source : sources) {
+        const auto expected = source->drain(300);
+        source->reset();
+        source->drain(111); // arbitrary mid-stream position
+        auto copy = source->clone();
+        ASSERT_NE(copy, nullptr);
+        EXPECT_EQ(copy->drain(300), expected);
+    }
+}
+
+TEST(TraceSourceClone, InterleaverAndTransformsClone)
+{
+    auto build = []() -> std::unique_ptr<TraceSource> {
+        auto data = Spec92Profile::make("ear", 13);
+        return std::make_unique<IFetchInterleaver>(
+            std::move(data), IFetchConfig{}, Rng(13 ^ 0xf00d));
+    };
+    auto interleaved = build();
+    const auto expected = interleaved->drain(400);
+    interleaved->drain(77);
+    auto copy = interleaved->clone();
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->drain(400), expected);
+
+    OffsetSource offset(build(), 0x1000);
+    const auto offset_head = offset.drain(200);
+    auto offset_copy = offset.clone();
+    ASSERT_NE(offset_copy, nullptr);
+    EXPECT_EQ(offset_copy->drain(200), offset_head);
+
+    KindFilterSource data_only(build(), true, true, false);
+    const auto filtered_head = data_only.drain(200);
+    auto filtered_copy = data_only.clone();
+    ASSERT_NE(filtered_copy, nullptr);
+    EXPECT_EQ(filtered_copy->drain(200), filtered_head);
+}
+
+TEST(TraceSourceClone, CloneIsIndependentOfTheOriginal)
+{
+    auto a = Spec92Profile::make("doduc", 3);
+    auto b = a->clone();
+    ASSERT_NE(b, nullptr);
+    // Interleave draws from both; each must see its own stream.
+    auto only_a = Spec92Profile::make("doduc", 3);
+    std::vector<MemoryReference> from_a;
+    std::vector<MemoryReference> from_b;
+    for (int i = 0; i < 200; ++i) {
+        from_a.push_back(*a->next());
+        from_b.push_back(*b->next());
+    }
+    EXPECT_EQ(from_a, from_b);
+    EXPECT_EQ(from_a, only_a->drain(200));
 }
 
 TEST(Spec92Profile, MemoryDensityIsRealistic)

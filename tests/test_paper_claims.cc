@@ -8,6 +8,7 @@
 
 #include "core/equivalence.hh"
 #include "core/tradeoff.hh"
+#include "exp/scenarios.hh"
 #include "linesize/line_tradeoff.hh"
 
 namespace uatm {
@@ -247,6 +248,58 @@ TEST(PaperClaims, LargerCachesPreferLargerLines)
     model.busWidth = 8;
     EXPECT_GE(smithOptimalLine(m16, model),
               smithOptimalLine(m8, model));
+}
+
+/**
+ * The Sec. 5.3 headline numbers re-derived through the scenario
+ * layer: the feature grid evaluated on the sharded exp::Runner must
+ * reproduce rankFeatures() exactly, and must preserve the paper's
+ * priority order (double bus > write buffers > partial stall) at
+ * every memory cycle time — independent of the thread count.
+ */
+TEST(PaperClaims, FeatureGridHeadlinesThroughScenarioPath)
+{
+    exp::FeatureGrid grid;
+    grid.ctx = context(8, 32);
+    grid.baseHitRatio = 0.95;
+    grid.cycleTimes = {2, 4, 8, 16, 20};
+    grid.phiPartial = 0.9 * grid.ctx.machine.lineOverBus();
+
+    exp::Runner runner(exp::RunnerOptions{8});
+    const exp::ResultTable table = exp::runFeatureGrid(grid, runner);
+    ASSERT_EQ(table.rows(),
+              grid.cycleTimes.size() * grid.features.size());
+
+    std::size_t row = 0;
+    for (double mu : grid.cycleTimes) {
+        TradeoffContext ctx = grid.ctx;
+        ctx.machine = grid.ctx.machine.withCycleTime(mu);
+        const auto ranked = rankFeatures(
+            ctx, grid.baseHitRatio, grid.phiPartial, grid.q);
+
+        double bus = 0, wbuf = 0, bnl = 0;
+        for (const TradeFeature feature : grid.features) {
+            const double r = table.at(row, 2).value();
+            // Byte-identical to the serial analytic path.
+            for (const auto &score : ranked) {
+                if (score.feature == feature) {
+                    EXPECT_EQ(r, score.missFactor)
+                        << tradeFeatureName(feature)
+                        << " mu=" << mu;
+                }
+            }
+            if (feature == TradeFeature::DoubleBus)
+                bus = r;
+            else if (feature == TradeFeature::WriteBuffers)
+                wbuf = r;
+            else if (feature == TradeFeature::PartialStall)
+                bnl = r;
+            ++row;
+        }
+        // Sec. 5.3's ordering claim, now via the runner.
+        EXPECT_GT(bus, wbuf) << "mu=" << mu;
+        EXPECT_GT(wbuf, bnl) << "mu=" << mu;
+    }
 }
 
 } // namespace
