@@ -52,8 +52,8 @@ sweepCsv(unsigned threads)
 } // namespace
 } // namespace uatm
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace uatm;
 
@@ -112,4 +112,11 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return uatm::bench::guardedMain(
+        [&] { return run(argc, argv); });
 }

@@ -29,8 +29,8 @@
 
 using namespace uatm;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     OptionParser options(
         "design_space_explorer",
@@ -111,7 +111,7 @@ main(int argc, char **argv)
         [](const exp::Point &point) {
             TimingEngine engine(point.cache, point.memory,
                                 point.writeBuffer, point.cpu);
-            auto workload = point.workload.make();
+            auto workload = okOrThrow(point.workload.make());
             const auto stats = engine.run(*workload, point.refs);
             return std::vector<exp::Cell>{
                 exp::Cell::num(
@@ -130,4 +130,11 @@ main(int argc, char **argv)
             "small cache against a narrow-bus larger cache "
             "(Example 1).\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

@@ -3,20 +3,26 @@
  * Shared command-line plumbing for the example binaries: the
  * --threads / --format / --out triple every scenario-driven
  * example exposes, parsed into a Runner and an emission target.
+ *
+ * The examples are the CLI boundary of the error contract: library
+ * errors arrive here as Status values or StatusError exceptions
+ * and become fatal() exits (guardedMain, okOrFatal, valueOrFatal).
  */
 
 #ifndef UATM_EXAMPLES_EXAMPLE_CLI_HH
 #define UATM_EXAMPLES_EXAMPLE_CLI_HH
 
 #include <string>
+#include <utility>
 
 #include "exp/result_table.hh"
 #include "exp/runner.hh"
 #include "util/options.hh"
+#include "util/status.hh"
 
 namespace uatm::examples {
 
-/** Declare --threads, --format and --out on @p options. */
+/** Declare --threads, --format, --out and --fail-fast. */
 inline void
 addRunnerOptions(OptionParser &options)
 {
@@ -27,12 +33,16 @@ addRunnerOptions(OptionParser &options)
     options.addString("out", "",
                       "write the result table here instead of "
                       "stdout");
+    options.addFlag("fail-fast",
+                    "abort on the first failed point instead of "
+                    "emitting an error row for it");
 }
 
 /** The parsed --threads / --format / --out triple. */
 struct RunnerCli
 {
     unsigned threads = 1;
+    bool failFast = false;
     exp::TableFormat format = exp::TableFormat::Text;
     std::string out;
 
@@ -46,13 +56,14 @@ struct RunnerCli
 
     exp::Runner makeRunner() const
     {
-        return exp::Runner(exp::RunnerOptions{threads});
+        return exp::Runner(exp::RunnerOptions{threads, failFast});
     }
 
-    /** Emit @p table per the parsed flags. */
+    /** Emit @p table per the parsed flags; fatal() when the output
+     *  file cannot be written. */
     void emit(const exp::ResultTable &table) const
     {
-        table.emit(format, out);
+        okOrFatal(table.emit(format, out));
     }
 };
 
@@ -62,9 +73,28 @@ parseRunnerOptions(const OptionParser &options)
     RunnerCli cli;
     cli.threads =
         static_cast<unsigned>(options.getInt("threads"));
-    cli.format = exp::parseTableFormat(options.getString("format"));
+    cli.failFast = options.getFlag("fail-fast");
+    cli.format =
+        valueOrFatal(exp::parseTableFormat(options.getString("format")));
     cli.out = options.getString("out");
     return cli;
+}
+
+/**
+ * Run @p body, converting an escaping StatusError into a clean
+ * fatal() exit.  Every example main routes through this so a
+ * recoverable library error never surfaces as an uncaught
+ * exception (std::terminate / abort).
+ */
+template <typename Fn>
+int
+guardedMain(Fn &&body)
+{
+    try {
+        return std::forward<Fn>(body)();
+    } catch (const StatusError &e) {
+        fatal(e.status().message());
+    }
 }
 
 } // namespace uatm::examples

@@ -27,8 +27,8 @@
 
 using namespace uatm;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     OptionParser options(
         "linesize_advisor",
@@ -96,4 +96,11 @@ main(int argc, char **argv)
                     "a larger line's higher hit ratio to win)\n");
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

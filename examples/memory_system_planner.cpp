@@ -25,8 +25,8 @@
 
 using namespace uatm;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     OptionParser options(
         "memory_system_planner",
@@ -134,7 +134,7 @@ main(int argc, char **argv)
         [](const exp::Point &point) {
             TimingEngine engine(point.cache, point.memory,
                                 point.writeBuffer, point.cpu);
-            auto workload = point.workload.make();
+            auto workload = okOrThrow(point.workload.make());
             const auto stats = engine.run(*workload, point.refs);
             return std::vector<exp::Cell>{
                 exp::Cell::integer(
@@ -143,4 +143,11 @@ main(int argc, char **argv)
                 exp::Cell::num(stats.meanMemoryDelay(), 3)};
         }));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

@@ -29,8 +29,8 @@
 
 using namespace uatm;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     OptionParser options(
         "pin_budget_planner",
@@ -118,4 +118,11 @@ main(int argc, char **argv)
             "pins); once the curve flattens, the same pins buy "
             "more than any affordable area.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

@@ -25,8 +25,8 @@
 
 #include "example_cli.hh"
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     using namespace uatm;
 
@@ -84,4 +84,11 @@ main(int argc, char **argv)
                 designExecutionTime(narrow, app),
                 designExecutionTime(wide, app));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return uatm::examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

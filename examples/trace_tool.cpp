@@ -20,11 +20,13 @@
 
 #include "cache/cache.hh"
 #include "core/workload.hh"
+#include "example_cli.hh"
 #include "exp/workload_spec.hh"
 #include "trace/io.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
+#include "util/status.hh"
 
 using namespace uatm;
 
@@ -38,16 +40,16 @@ makeWorkload(const std::string &name, std::uint64_t seed,
         name == "shortlevy" ? exp::WorkloadSpec::shortLevy(seed)
                             : exp::WorkloadSpec::spec92(name, seed);
     spec.withIFetch = with_ifetch;
-    return spec.make();
+    return valueOrFatal(spec.make());
 }
 
 Trace
 loadTrace(const std::string &path, const std::string &format)
 {
     if (format == "binary")
-        return BinaryTraceFormat::readFile(path);
+        return valueOrFatal(BinaryTraceFormat::readFile(path));
     if (format == "text")
-        return TextTraceFormat::readFile(path);
+        return valueOrFatal(TextTraceFormat::readFile(path));
     fatal("unknown trace format '", format,
           "' (expected text or binary)");
 }
@@ -57,9 +59,9 @@ saveTrace(const Trace &trace, const std::string &path,
           const std::string &format)
 {
     if (format == "binary")
-        BinaryTraceFormat::writeFile(trace, path);
+        okOrFatal(BinaryTraceFormat::writeFile(trace, path));
     else if (format == "text")
-        TextTraceFormat::writeFile(trace, path);
+        okOrFatal(TextTraceFormat::writeFile(trace, path));
     else
         fatal("unknown trace format '", format, "'");
 }
@@ -67,7 +69,7 @@ saveTrace(const Trace &trace, const std::string &path,
 } // namespace
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     OptionParser options(
         "trace_tool",
@@ -159,4 +161,11 @@ main(int argc, char **argv)
 
     fatal("unknown mode '", mode,
           "' (expected generate, inspect or replay)");
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

@@ -31,8 +31,8 @@
 
 using namespace uatm;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     OptionParser options("unified_report",
                          "One-page architectural tradeoff report "
@@ -224,4 +224,11 @@ main(int argc, char **argv)
                                            base.cycles)));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return examples::guardedMain(
+        [&] { return run(argc, argv); });
 }

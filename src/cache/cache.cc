@@ -150,7 +150,7 @@ CacheStats::registerStats(obs::StatRegistry &registry,
 SetAssocCache::SetAssocCache(const CacheConfig &config)
     : config_(config)
 {
-    config_.validate();
+    okOrThrow(config_.validate());
     setMask_ = config_.numSets() - 1;
     lineShift_ = static_cast<std::uint32_t>(
         std::countr_zero(static_cast<std::uint64_t>(

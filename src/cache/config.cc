@@ -73,27 +73,36 @@ CacheConfig::numLines() const
     return sizeBytes / lineBytes;
 }
 
-void
+Status
 CacheConfig::validate() const
 {
-    if (!isPow2(sizeBytes))
-        fatal("cache size ", sizeBytes, " is not a power of two");
-    if (!isPow2(lineBytes) || lineBytes < 4)
-        fatal("line size ", lineBytes,
-              " must be a power of two >= 4");
+    if (!isPow2(sizeBytes)) {
+        return Status::invalidArgument("cache size ", sizeBytes,
+                                       " is not a power of two");
+    }
+    if (!isPow2(lineBytes) || lineBytes < 4) {
+        return Status::invalidArgument(
+            "line size ", lineBytes, " must be a power of two >= 4");
+    }
     if (assoc == 0)
-        fatal("associativity must be positive");
+        return Status::invalidArgument("associativity must be positive");
     const std::uint64_t way_bytes =
         static_cast<std::uint64_t>(assoc) * lineBytes;
-    if (sizeBytes % way_bytes != 0)
-        fatal("cache size ", sizeBytes,
-              " is not a multiple of assoc*line = ", way_bytes);
-    if (!isPow2(numSets()))
-        fatal("number of sets ", numSets(),
-              " is not a power of two");
-    if (replacement == ReplacementKind::TreePLRU && !isPow2(assoc))
-        fatal("TreePLRU requires a power-of-two associativity, got ",
-              assoc);
+    if (sizeBytes % way_bytes != 0) {
+        return Status::invalidArgument(
+            "cache size ", sizeBytes,
+            " is not a multiple of assoc*line = ", way_bytes);
+    }
+    if (!isPow2(numSets())) {
+        return Status::invalidArgument("number of sets ", numSets(),
+                                       " is not a power of two");
+    }
+    if (replacement == ReplacementKind::TreePLRU && !isPow2(assoc)) {
+        return Status::invalidArgument(
+            "TreePLRU requires a power-of-two associativity, got ",
+            assoc);
+    }
+    return Status();
 }
 
 std::string

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.hh"
+
 namespace uatm {
 
 /**
@@ -64,9 +66,10 @@ struct CacheConfig
     /** Total lines in the cache. */
     std::uint64_t numLines() const;
 
-    /** fatal() unless the geometry is realisable (powers of two,
-     *  assoc divides capacity, line >= 4 bytes). */
-    void validate() const;
+    /** OK when the geometry is realisable (powers of two, assoc
+     *  divides capacity, line >= 4 bytes); InvalidArgument with
+     *  the first violation otherwise. */
+    Status validate() const;
 
     /** "8KB 2-way 32B WA/WB LRU" style summary. */
     std::string describe() const;

@@ -12,14 +12,19 @@
 
 namespace uatm {
 
-void
+Status
 VictimConfig::validate() const
 {
-    if (entries == 0)
-        fatal("a victim cache needs at least one entry");
-    if (entries > 64)
-        fatal("a victim buffer is a small fully associative "
-              "structure; ", entries, " entries is not realisable");
+    if (entries == 0) {
+        return Status::invalidArgument(
+            "a victim cache needs at least one entry");
+    }
+    if (entries > 64) {
+        return Status::invalidArgument(
+            "a victim buffer is a small fully associative "
+            "structure; ", entries, " entries is not realisable");
+    }
+    return Status();
 }
 
 VictimCachedHierarchy::VictimCachedHierarchy(
@@ -27,7 +32,7 @@ VictimCachedHierarchy::VictimCachedHierarchy(
     const VictimConfig &victim_config)
     : main_(main_config), victimConfig_(victim_config)
 {
-    victimConfig_.validate();
+    okOrThrow(victimConfig_.validate());
 }
 
 void

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "util/status.hh"
 
 namespace uatm {
 
@@ -27,7 +28,8 @@ struct VictimConfig
     /** Fully associative entries (Jouppi evaluated 1-15). */
     std::uint32_t entries = 4;
 
-    void validate() const;
+    /** OK for a realisable buffer; InvalidArgument otherwise. */
+    Status validate() const;
 };
 
 /** Counters specific to the victim buffer. */

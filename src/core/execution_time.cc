@@ -24,7 +24,7 @@ double
 executionTime(const Workload &workload, const Machine &machine,
               double phi, const ExecutionModelOptions &options)
 {
-    machine.validate();
+    okOrThrow(machine.validate());
     workload.validate(machine.lineBytes);
     UATM_ASSERT(phi >= 0.0, "stalling factor must be non-negative");
 

@@ -11,23 +11,32 @@
 
 namespace uatm {
 
-void
+Status
 Machine::validate() const
 {
     if (busWidth <= 0)
-        fatal("bus width must be positive");
-    if (lineBytes < busWidth)
-        fatal("line size L = ", lineBytes,
-              " must be at least the bus width D = ", busWidth);
-    if (cycleTime <= 0)
-        fatal("memory cycle time must be positive");
-    if (pipelined) {
-        if (pipelineInterval <= 0)
-            fatal("pipeline interval q must be positive");
-        if (pipelineInterval > cycleTime)
-            fatal("pipeline interval q = ", pipelineInterval,
-                  " exceeds mu_m = ", cycleTime);
+        return Status::invalidArgument("bus width must be positive");
+    if (lineBytes < busWidth) {
+        return Status::invalidArgument(
+            "line size L = ", lineBytes,
+            " must be at least the bus width D = ", busWidth);
     }
+    if (cycleTime <= 0) {
+        return Status::invalidArgument(
+            "memory cycle time must be positive");
+    }
+    if (pipelined) {
+        if (pipelineInterval <= 0) {
+            return Status::invalidArgument(
+                "pipeline interval q must be positive");
+        }
+        if (pipelineInterval > cycleTime) {
+            return Status::invalidArgument(
+                "pipeline interval q = ", pipelineInterval,
+                " exceeds mu_m = ", cycleTime);
+        }
+    }
+    return Status();
 }
 
 double
@@ -44,8 +53,11 @@ Machine::withDoubledBus() const
 {
     Machine m = *this;
     m.busWidth *= 2.0;
-    UATM_ASSERT(m.lineBytes >= m.busWidth,
-                "doubling the bus would exceed the line size");
+    if (m.lineBytes < m.busWidth) {
+        throw StatusError(Status::invalidArgument(
+            "doubling the bus to D = ", m.busWidth,
+            " would exceed the line size L = ", m.lineBytes));
+    }
     return m;
 }
 
@@ -55,7 +67,7 @@ Machine::withPipelining(double q) const
     Machine m = *this;
     m.pipelined = true;
     m.pipelineInterval = q;
-    m.validate();
+    okOrThrow(m.validate());
     return m;
 }
 
@@ -64,7 +76,7 @@ Machine::withLineBytes(double line_bytes) const
 {
     Machine m = *this;
     m.lineBytes = line_bytes;
-    m.validate();
+    okOrThrow(m.validate());
     return m;
 }
 
@@ -73,7 +85,7 @@ Machine::withCycleTime(double mu_m) const
 {
     Machine m = *this;
     m.cycleTime = mu_m;
-    m.validate();
+    okOrThrow(m.validate());
     return m;
 }
 

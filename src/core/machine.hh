@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "util/status.hh"
+
 namespace uatm {
 
 /**
@@ -34,7 +36,9 @@ struct Machine
      *  best-case implementation. */
     double pipelineInterval = 2;
 
-    void validate() const;
+    /** OK when the parameters are consistent; InvalidArgument with
+     *  the first violation otherwise. */
+    Status validate() const;
 
     /** L/D, the full-stalling factor of Table 2. */
     double lineOverBus() const { return lineBytes / busWidth; }
@@ -44,6 +48,11 @@ struct Machine
      * mu_p = mu_m + q(L/D - 1) when pipelined (Eq. 9).
      */
     double lineTransferTime() const;
+
+    // The withX() copies throw StatusError when the resulting
+    // machine would be inconsistent (e.g. doubling the bus past the
+    // line size), so a sweep point at a boundary degrades to an
+    // error row instead of killing the run.
 
     /** A copy with the bus (and memory path) width doubled. */
     Machine withDoubledBus() const;

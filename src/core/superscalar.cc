@@ -56,7 +56,7 @@ double
 missFactorDoubleBusSuperscalar(const TradeoffContext &ctx,
                                const SuperscalarModel &model)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine &m = ctx.machine;
     const Machine wide = m.withDoubledBus();
     return missFactorSuperscalar(m, m.lineOverBus(), ctx.alpha,
@@ -68,7 +68,7 @@ double
 missFactorWriteBuffersSuperscalar(const TradeoffContext &ctx,
                                   const SuperscalarModel &model)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine &m = ctx.machine;
     return missFactorSuperscalar(m, m.lineOverBus(), ctx.alpha, m,
                                  m.lineOverBus(), 0.0, model);
@@ -79,7 +79,7 @@ missFactorPipelinedSuperscalar(const TradeoffContext &ctx,
                                double q,
                                const SuperscalarModel &model)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine piped = ctx.machine.withPipelining(q);
     return missFactorSuperscalar(ctx.machine,
                                  ctx.machine.lineOverBus(),

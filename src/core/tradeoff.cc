@@ -28,21 +28,27 @@ tradeFeatureName(TradeFeature feature)
     panic("unknown TradeFeature");
 }
 
-void
+Status
 TradeoffContext::validate() const
 {
-    machine.validate();
-    if (machine.pipelined)
-        fatal("the tradeoff base machine must be non-pipelined "
-              "(Sec. 5.3 compares against that ground)");
-    if (alpha < 0.0 || alpha > 1.0)
-        fatal("alpha must lie in [0, 1], got ", alpha);
+    if (Status status = machine.validate(); !status.ok())
+        return status;
+    if (machine.pipelined) {
+        return Status::invalidArgument(
+            "the tradeoff base machine must be non-pipelined "
+            "(Sec. 5.3 compares against that ground)");
+    }
+    if (alpha < 0.0 || alpha > 1.0) {
+        return Status::invalidArgument(
+            "alpha must lie in [0, 1], got ", alpha);
+    }
+    return Status();
 }
 
 double
 perMissCost(const Machine &machine, double phi, double alpha)
 {
-    machine.validate();
+    okOrThrow(machine.validate());
     UATM_ASSERT(phi >= 0.0, "phi must be non-negative");
     if (machine.pipelined) {
         // Full-blocking pipelined system: the fill stalls mu_p and
@@ -60,16 +66,20 @@ missFactor(const Machine &base, double phi_base, double alpha_base,
     const double a = perMissCost(base, phi_base, alpha_base);
     const double b =
         perMissCost(improved, phi_improved, alpha_improved);
-    if (a <= 1.0 || b <= 1.0)
-        fatal("per-miss cost must exceed the one-cycle hit time "
-              "for Eq. 3 to be meaningful (costs ", a, ", ", b, ")");
+    if (a <= 1.0 || b <= 1.0) {
+        // Eq. 3's denominator collapses at the one-cycle boundary;
+        // a sweep point there must degrade to an error row.
+        throw StatusError(Status::outOfRange(
+            "per-miss cost must exceed the one-cycle hit time "
+            "for Eq. 3 to be meaningful (costs ", a, ", ", b, ")"));
+    }
     return (a - 1.0) / (b - 1.0);
 }
 
 double
 missFactorDoubleBus(const TradeoffContext &ctx)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine &m = ctx.machine;
     const Machine wide = m.withDoubledBus();
     // FS on both sides: phi = L/D and L/2D respectively (Eq. 3).
@@ -80,14 +90,16 @@ missFactorDoubleBus(const TradeoffContext &ctx)
 double
 missFactorWidenBus(const TradeoffContext &ctx, double factor)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     UATM_ASSERT(factor > 1.0, "widening factor must exceed one");
     const Machine &m = ctx.machine;
     Machine wide = m;
     wide.busWidth *= factor;
-    if (wide.busWidth > wide.lineBytes)
-        fatal("widening the bus ", factor, "x would exceed the ",
-              m.lineBytes, "-byte line");
+    if (wide.busWidth > wide.lineBytes) {
+        throw StatusError(Status::invalidArgument(
+            "widening the bus ", factor, "x would exceed the ",
+            m.lineBytes, "-byte line"));
+    }
     return missFactor(m, m.lineOverBus(), ctx.alpha, wide,
                       wide.lineOverBus(), ctx.alpha);
 }
@@ -95,7 +107,7 @@ missFactorWidenBus(const TradeoffContext &ctx, double factor)
 double
 missFactorPartialStall(const TradeoffContext &ctx, double phi)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine &m = ctx.machine;
     UATM_ASSERT(phi >= 0.0 && phi <= m.lineOverBus(),
                 "phi = ", phi, " outside [0, L/D]");
@@ -106,7 +118,7 @@ missFactorPartialStall(const TradeoffContext &ctx, double phi)
 double
 missFactorWriteBuffers(const TradeoffContext &ctx)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine &m = ctx.machine;
     // Best case (Table 3): the flush term vanishes; the read path
     // is unchanged, so the improved per-miss cost is (L/D) mu_m.
@@ -117,7 +129,7 @@ missFactorWriteBuffers(const TradeoffContext &ctx)
 double
 missFactorPipelined(const TradeoffContext &ctx, double q)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     const Machine piped = ctx.machine.withPipelining(q);
     return missFactor(ctx.machine, ctx.machine.lineOverBus(),
                       ctx.alpha, piped, /*phi=*/0.0, ctx.alpha);
@@ -128,7 +140,7 @@ missFactorVictim(const TradeoffContext &ctx,
                  double victim_hit_fraction,
                  double swap_penalty_cycles)
 {
-    ctx.validate();
+    okOrThrow(ctx.validate());
     UATM_ASSERT(victim_hit_fraction >= 0.0 &&
                 victim_hit_fraction <= 1.0,
                 "victim hit fraction must be a probability");
@@ -137,14 +149,20 @@ missFactorVictim(const TradeoffContext &ctx,
     const Machine &m = ctx.machine;
     const double a =
         perMissCost(m, m.lineOverBus(), ctx.alpha);
-    UATM_ASSERT(swap_penalty_cycles < a,
-                "a victim swap must be cheaper than a full miss");
+    if (swap_penalty_cycles >= a) {
+        throw StatusError(Status::invalidArgument(
+            "a victim swap (", swap_penalty_cycles,
+            " cycles) must be cheaper than a full miss (", a,
+            " cycles)"));
+    }
     const double effective =
         (1.0 - victim_hit_fraction) * a +
         victim_hit_fraction * swap_penalty_cycles;
-    if (a <= 1.0 || effective <= 1.0)
-        fatal("per-miss cost must exceed the one-cycle hit time "
-              "for Eq. 3 to be meaningful");
+    if (a <= 1.0 || effective <= 1.0) {
+        throw StatusError(Status::outOfRange(
+            "per-miss cost must exceed the one-cycle hit time "
+            "for Eq. 3 to be meaningful"));
+    }
     return (a - 1.0) / (effective - 1.0);
 }
 
@@ -164,10 +182,12 @@ equivalentHitRatio(double r, double base_hit_ratio)
     const double hr2 = base_hit_ratio - hitRatioTraded(
         r, base_hit_ratio);
     // Eq. 6 is only valid for physical systems (HR2 >= 0).
-    if (hr2 < 0.0)
-        fatal("equivalent hit ratio is negative (r = ", r,
-              ", base HR = ", base_hit_ratio,
-              "); outside Eq. 6's validity range");
+    if (hr2 < 0.0) {
+        throw StatusError(Status::outOfRange(
+            "equivalent hit ratio is negative (r = ", r,
+            ", base HR = ", base_hit_ratio,
+            "); outside Eq. 6's validity range"));
+    }
     return hr2;
 }
 

@@ -47,7 +47,9 @@ struct TradeoffContext
      *  (the paper uses 0.5 throughout Sec. 5). */
     double alpha = 0.5;
 
-    void validate() const;
+    /** OK for a valid Sec. 5.3 base machine; InvalidArgument
+     *  otherwise. */
+    Status validate() const;
 };
 
 /**

@@ -37,14 +37,16 @@ prefetchPolicyName(PrefetchPolicy policy)
     panic("unknown PrefetchPolicy");
 }
 
-void
+Status
 CpuConfig::validate() const
 {
     if (mshrs == 0)
-        fatal("NB needs at least one MSHR");
-    if (feature != StallFeature::NB && mshrs != 1)
-        fatal("multiple MSHRs are only meaningful for the NB "
-              "feature");
+        return Status::invalidArgument("NB needs at least one MSHR");
+    if (feature != StallFeature::NB && mshrs != 1) {
+        return Status::invalidArgument(
+            "multiple MSHRs are only meaningful for the NB feature");
+    }
+    return Status();
 }
 
 double
@@ -213,10 +215,13 @@ TimingEngine::TimingEngine(const CacheConfig &cache_config,
       scheduler_(timing_, wbuf_config),
       tracer_(&obs::globalTracer())
 {
-    cpuConfig_.validate();
-    UATM_ASSERT(cache_config.lineBytes >=
-                    memory_config.busWidthBytes,
-                "line size must be at least the bus width");
+    okOrThrow(cpuConfig_.validate());
+    if (cache_config.lineBytes < memory_config.busWidthBytes) {
+        throw StatusError(Status::invalidArgument(
+            "line size ", cache_config.lineBytes,
+            " must be at least the bus width ",
+            memory_config.busWidthBytes));
+    }
 }
 
 void

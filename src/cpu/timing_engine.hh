@@ -85,7 +85,9 @@ struct CpuConfig
     /** Hardware prefetch policy. */
     PrefetchPolicy prefetch = PrefetchPolicy::None;
 
-    void validate() const;
+    /** OK when the feature/MSHR combination is consistent;
+     *  InvalidArgument otherwise. */
+    Status validate() const;
 };
 
 /** Cycle accounting of one engine run. */

@@ -43,6 +43,16 @@ Cell::integer(std::int64_t value)
     return cell;
 }
 
+Cell
+Cell::error(const Status &status)
+{
+    UATM_ASSERT(!status.ok(), "an error cell needs an error status");
+    Cell cell;
+    cell.text_ = std::string("!") + errorCodeName(status.code());
+    cell.error_ = true;
+    return cell;
+}
+
 const char *
 tableFormatName(TableFormat format)
 {
@@ -57,7 +67,7 @@ tableFormatName(TableFormat format)
     return "?";
 }
 
-TableFormat
+Expected<TableFormat>
 parseTableFormat(const std::string &name)
 {
     if (name == "text")
@@ -66,8 +76,8 @@ parseTableFormat(const std::string &name)
         return TableFormat::Csv;
     if (name == "json")
         return TableFormat::Json;
-    fatal("unknown table format '", name,
-          "' (expected text, csv or json)");
+    return Status::invalidArgument("unknown table format '", name,
+                                   "' (expected text, csv or json)");
 }
 
 ResultTable::ResultTable(std::string name,
@@ -104,7 +114,7 @@ ResultTable::render(TableFormat format) const
       case TableFormat::Json:
         return renderJson();
     }
-    fatal("bad table format ", int(format));
+    panic("bad table format ", int(format));
 }
 
 std::string
@@ -171,7 +181,7 @@ ResultTable::renderJson() const
     return json.str();
 }
 
-const std::string &
+Status
 ResultTable::emit(TableFormat format,
                   const std::string &out_path) const
 {
@@ -182,15 +192,17 @@ ResultTable::emit(TableFormat format,
             std::fputs("\n", stdout);
     } else {
         std::ofstream out(out_path);
-        if (!out)
-            fatal("cannot open '", out_path, "' for writing");
+        if (!out) {
+            return Status::ioError("cannot open '", out_path,
+                                   "' for writing");
+        }
         out << rendered_;
         if (!rendered_.empty() && rendered_.back() != '\n')
             out << '\n';
         if (!out)
-            fatal("failed writing '", out_path, "'");
+            return Status::ioError("failed writing '", out_path, "'");
     }
-    return rendered_;
+    return Status();
 }
 
 } // namespace uatm::exp

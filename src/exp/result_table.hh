@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace uatm::exp {
 
 /** Bumped whenever the JSON table layout changes shape. */
@@ -41,14 +43,23 @@ class Cell
     /** An integer cell. */
     static Cell integer(std::int64_t value);
 
+    /**
+     * A typed error cell for a failed point: renders as
+     * "!<error code name>" so failed rows are visually distinct
+     * and machine-greppable in every output format.
+     */
+    static Cell error(const Status &status);
+
     const std::string &str() const { return text_; }
     bool numeric() const { return numeric_; }
     double value() const { return value_; }
+    bool isError() const { return error_; }
 
   private:
     std::string text_;
     double value_ = 0.0;
     bool numeric_ = false;
+    bool error_ = false;
 };
 
 /** Output form of a ResultTable. */
@@ -61,8 +72,8 @@ enum class TableFormat : std::uint8_t
 
 const char *tableFormatName(TableFormat format);
 
-/** Parse "text" | "csv" | "json"; fatal() on anything else. */
-TableFormat parseTableFormat(const std::string &name);
+/** Parse "text" | "csv" | "json"; error Status on anything else. */
+Expected<TableFormat> parseTableFormat(const std::string &name);
 
 class ResultTable
 {
@@ -90,11 +101,14 @@ class ResultTable
     std::string renderJson() const;
 
     /**
-     * Render to @p out_path (fatal() when unwritable), or to
-     * stdout when the path is empty.  Returns the rendered string.
+     * Render to @p out_path, or to stdout when the path is empty.
+     * Returns an IoError Status when the file cannot be written.
+     * The rendered string stays available via rendered().
      */
-    const std::string &emit(TableFormat format,
-                            const std::string &out_path) const;
+    Status emit(TableFormat format, const std::string &out_path) const;
+
+    /** The string produced by the last emit() call. */
+    const std::string &rendered() const { return rendered_; }
 
   private:
     std::string name_;

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -25,6 +26,9 @@ RunnerStats::registerStats(obs::StatRegistry &registry,
     registry.addScalar(prefix + ".points",
                        static_cast<double>(points),
                        "scenario points evaluated");
+    registry.addScalar(prefix + ".points_failed",
+                       static_cast<double>(pointsFailed),
+                       "points whose kernel failed");
     registry.addScalar(prefix + ".threads_requested",
                        threadsRequested,
                        "worker threads requested");
@@ -74,13 +78,24 @@ Runner::run(const Scenario &scenario,
     unsigned requested =
         options_.threads ? options_.threads
                          : std::thread::hardware_concurrency();
+    if (requested == 0)
+        requested = 1;
+    // A tracer-forced-serial run only ever asked for one thread;
+    // reporting hardware_concurrency() here would misstate the run.
+    if (obs::globalTracer().enabled())
+        requested = 1;
     unsigned threads = effectiveThreads(points.size());
 
     std::vector<std::vector<Cell>> slots(points.size());
+    // One failure slot per point keeps the merge deterministic:
+    // failures land by index, not by completion order.
+    std::vector<std::optional<Status>> errors(points.size());
     std::atomic<std::size_t> next{0};
     std::atomic<double> kernelSeconds{0.0};
     std::exception_ptr firstError;
     std::mutex errorMutex;
+
+    const bool failFast = options_.failFast;
 
     auto worker = [&]() {
         double localSeconds = 0.0;
@@ -90,12 +105,42 @@ Runner::run(const Scenario &scenario,
             if (i >= points.size())
                 break;
             auto start = std::chrono::steady_clock::now();
+            bool failed = false;
+            std::exception_ptr thrown;
             try {
-                slots[i] = kernel(points[i]);
+                auto cells = kernel(points[i]);
+                if (cells.ok()) {
+                    slots[i] = std::move(cells).value();
+                } else {
+                    errors[i] = cells.status();
+                    failed = true;
+                }
+            } catch (const StatusError &e) {
+                errors[i] = e.status();
+                failed = true;
+                thrown = std::current_exception();
+            } catch (const std::exception &e) {
+                errors[i] = Status::error(ErrorCode::KernelError,
+                                          e.what());
+                failed = true;
+                thrown = std::current_exception();
             } catch (...) {
+                errors[i] = Status::error(ErrorCode::KernelError,
+                                          "unknown exception");
+                failed = true;
+                thrown = std::current_exception();
+            }
+            if (failed && failFast) {
                 std::lock_guard<std::mutex> lock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
+                if (!firstError) {
+                    // Rethrow what the kernel actually threw; wrap
+                    // status-return failures so they still escape
+                    // as an exception.
+                    firstError = thrown
+                        ? thrown
+                        : std::make_exception_ptr(
+                              StatusError(*errors[i]));
+                }
                 // Drain the queue so the pool winds down fast.
                 next.store(points.size(),
                            std::memory_order_relaxed);
@@ -115,6 +160,7 @@ Runner::run(const Scenario &scenario,
     };
 
     auto wallStart = std::chrono::steady_clock::now();
+    unsigned spawned = 0;
     if (threads <= 1) {
         worker();
     } else {
@@ -124,35 +170,60 @@ Runner::run(const Scenario &scenario,
             pool.emplace_back(worker);
         for (auto &thread : pool)
             thread.join();
+        spawned = threads;
     }
     double wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wallStart)
             .count();
 
-    if (firstError)
+    failures_.clear();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (errors[i]) {
+            failures_.push_back(
+                PointFailure{i, points[i].label(), *errors[i]});
+        }
+    }
+
+    // Stats first, rethrow second: a fail-fast abort must not leave
+    // lastStats() describing the previous run.
+    stats_.points = points.size();
+    stats_.pointsFailed = failures_.size();
+    stats_.threadsRequested = requested;
+    stats_.threadsUsed = spawned;
+    stats_.wallSeconds = wallSeconds;
+    stats_.pointSecondsTotal =
+        kernelSeconds.load(std::memory_order_relaxed);
+
+    // Log after the join, from one thread, so warn() lines do not
+    // interleave.
+    for (const auto &failure : failures_) {
+        warn("point ", failure.index, " (", failure.label,
+             ") failed: ", failure.status.toString());
+    }
+
+    if (failFast && firstError)
         std::rethrow_exception(firstError);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
-        UATM_ASSERT(slots[i].size() == value_columns.size(),
-                    "kernel returned ", slots[i].size(),
-                    " cells for point ", i, ", expected ",
-                    value_columns.size());
         std::vector<Cell> row;
         row.reserve(columns.size());
         for (const auto &coord : points[i].coords)
             row.push_back(Cell::text(coord.label));
-        for (auto &cell : slots[i])
-            row.push_back(std::move(cell));
+        if (errors[i]) {
+            for (std::size_t c = 0; c < value_columns.size(); ++c)
+                row.push_back(Cell::error(*errors[i]));
+        } else {
+            UATM_ASSERT(slots[i].size() == value_columns.size(),
+                        "kernel returned ", slots[i].size(),
+                        " cells for point ", i, ", expected ",
+                        value_columns.size());
+            for (auto &cell : slots[i])
+                row.push_back(std::move(cell));
+        }
         table.addRow(std::move(row));
     }
 
-    stats_.points = points.size();
-    stats_.threadsRequested = requested ? requested : 1;
-    stats_.threadsUsed = threads;
-    stats_.wallSeconds = wallSeconds;
-    stats_.pointSecondsTotal =
-        kernelSeconds.load(std::memory_order_relaxed);
     return table;
 }
 

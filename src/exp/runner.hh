@@ -10,6 +10,14 @@
  * merged ResultTable is byte-identical whether one thread ran the
  * whole grid or eight shared it.
  *
+ * Failures are isolated per point: a kernel that throws or returns
+ * an error Status marks only its own point as failed.  The other
+ * points still run, the failed point's row is emitted with typed
+ * error cells ("!invalid_argument"-style), and the failure is
+ * counted in RunnerStats::pointsFailed and recorded in
+ * lastFailures().  Set RunnerOptions::failFast to restore the old
+ * first-failure-aborts-the-run behaviour.
+ *
  * Point kernels must be self-contained: no shared mutable state
  * beyond what the Point carries.  The process-wide event tracer
  * (UATM_TRACE) is not thread-safe, so the runner drops to one
@@ -26,6 +34,7 @@
 
 #include "exp/result_table.hh"
 #include "exp/scenario.hh"
+#include "util/status.hh"
 
 namespace uatm::obs {
 class StatRegistry;
@@ -37,13 +46,33 @@ struct RunnerOptions
 {
     /** Worker count; 0 means std::thread::hardware_concurrency(). */
     unsigned threads = 1;
+
+    /**
+     * Abort the run on the first failed point instead of isolating
+     * it: the first kernel exception is rethrown (after the pool
+     * winds down and the stats are updated), and a kernel error
+     * Status is rethrown as StatusError.
+     */
+    bool failFast = false;
+};
+
+/** One failed point of the most recent run. */
+struct PointFailure
+{
+    std::size_t index = 0; ///< position in expansion order
+    std::string label;     ///< Point::label() of the failed point
+    Status status;         ///< why it failed (never OK)
 };
 
 /** What one run did, for manifests and the observability layer. */
 struct RunnerStats
 {
     std::size_t points = 0;
+    /** Points whose kernel threw or returned an error Status. */
+    std::size_t pointsFailed = 0;
     unsigned threadsRequested = 0;
+    /** Worker threads actually spawned; 0 when the run was inline
+     *  on the calling thread. */
     unsigned threadsUsed = 0;
     double wallSeconds = 0.0;
     /** Sum of per-point kernel time across all workers. */
@@ -56,8 +85,14 @@ struct RunnerStats
 class Runner
 {
   public:
-    /** Evaluates one point into the value columns' cells. */
-    using Kernel = std::function<std::vector<Cell>(const Point &)>;
+    /**
+     * Evaluates one point into the value columns' cells.  Plain
+     * std::vector<Cell> lambdas still fit (implicit conversion);
+     * returning an error Status marks the point failed without
+     * the cost of an exception.
+     */
+    using Kernel =
+        std::function<Expected<std::vector<Cell>>(const Point &)>;
 
     explicit Runner(RunnerOptions options = {});
 
@@ -65,7 +100,9 @@ class Runner
      * Evaluate every point of @p scenario.  The returned table's
      * columns are the scenario's axis names followed by
      * @p value_columns; each row is the point's coordinate labels
-     * followed by the kernel's cells, in expansion order.
+     * followed by the kernel's cells, in expansion order.  Failed
+     * points keep their coordinate labels and get one error cell
+     * per value column.
      */
     ResultTable run(const Scenario &scenario,
                     const std::vector<std::string> &value_columns,
@@ -74,12 +111,19 @@ class Runner
     /** Stats from the most recent run(). */
     const RunnerStats &lastStats() const { return stats_; }
 
+    /** Failed points of the most recent run, in point order. */
+    const std::vector<PointFailure> &lastFailures() const
+    {
+        return failures_;
+    }
+
     /** Threads run() would actually use right now. */
     unsigned effectiveThreads(std::size_t points) const;
 
   private:
     RunnerOptions options_;
     RunnerStats stats_;
+    std::vector<PointFailure> failures_;
 };
 
 } // namespace uatm::exp

@@ -25,22 +25,22 @@ AxisValue::ofNumber(double value)
     return AxisValue{buf, value};
 }
 
-double
+Expected<double>
 Point::coord(const std::string &axis) const
 {
     for (const auto &coord : coords)
         if (coord.axis == axis)
             return coord.value;
-    fatal("point has no axis '", axis, "'");
+    return Status::notFound("point has no axis '", axis, "'");
 }
 
-const std::string &
+Expected<std::string>
 Point::coordLabel(const std::string &axis) const
 {
     for (const auto &coord : coords)
         if (coord.axis == axis)
             return coord.label;
-    fatal("point has no axis '", axis, "'");
+    return Status::notFound("point has no axis '", axis, "'");
 }
 
 std::string

@@ -30,6 +30,7 @@
 #include "exp/workload_spec.hh"
 #include "memory/timing.hh"
 #include "memory/write_buffer.hh"
+#include "util/status.hh"
 
 namespace uatm::exp {
 
@@ -72,11 +73,11 @@ struct Point
 
     std::vector<Coord> coords;
 
-    /** Coordinate value of @p axis; fatal() when absent. */
-    double coord(const std::string &axis) const;
+    /** Coordinate value of @p axis; NotFound when absent. */
+    Expected<double> coord(const std::string &axis) const;
 
-    /** Coordinate label of @p axis; fatal() when absent. */
-    const std::string &coordLabel(const std::string &axis) const;
+    /** Coordinate label of @p axis; NotFound when absent. */
+    Expected<std::string> coordLabel(const std::string &axis) const;
 
     /** "size=8192 bus=8 workload=nasa7". */
     std::string label() const;

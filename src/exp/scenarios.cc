@@ -25,7 +25,7 @@ geometryAxisName(GeometrySweep::Axis axis)
 SweepPoint
 evalGeometryPoint(const Point &point, std::uint64_t value)
 {
-    auto source = point.workload.make();
+    auto source = okOrThrow(point.workload.make());
     const auto run = runCacheSim(point.cache, *source, point.refs,
                                  point.warmupRefs);
     return SweepPoint{value, run.hitRatio(), run.missRatio(),
@@ -86,8 +86,8 @@ runGeometrySweep(const GeometrySweep &spec, Runner &runner,
     ResultTable table = runner.run(
         scenario, {"hit_ratio", "miss_ratio", "flush_ratio"},
         [&axis, &samples](const Point &point) {
-            const auto value =
-                static_cast<std::uint64_t>(point.coord(axis));
+            const auto value = static_cast<std::uint64_t>(
+                okOrThrow(point.coord(axis)));
             SweepPoint sample = evalGeometryPoint(point, value);
             samples[point.index] = sample;
             return sweepPointCells(sample);
@@ -162,7 +162,7 @@ runPhiPoints(const PhiExperiment &experiment, Runner &runner,
         scenario, {"phi", "pct_of_full"},
         [&experiment, &results](const Point &point) {
             PhiResult result = measurePhi(
-                experiment, point.coordLabel("workload"));
+                experiment, okOrThrow(point.coordLabel("workload")));
             results[point.index] = result;
             return std::vector<Cell>{
                 Cell::num(result.phi, 3),
@@ -236,10 +236,10 @@ runFeatureGrid(const FeatureGrid &grid, Runner &runner)
         scenario, {"miss_factor", "dhr", "equiv_hr"},
         [&grid](const Point &point) {
             TradeoffContext ctx = grid.ctx;
-            ctx.machine =
-                grid.ctx.machine.withCycleTime(point.coord("mu_m"));
+            ctx.machine = grid.ctx.machine.withCycleTime(
+                okOrThrow(point.coord("mu_m")));
             const auto feature = static_cast<TradeFeature>(
-                static_cast<int>(point.coord("feature")));
+                static_cast<int>(okOrThrow(point.coord("feature"))));
             const double r = featureMissFactor(ctx, feature, grid.q,
                                                grid.phiPartial);
             const double dhr =

@@ -5,6 +5,8 @@
 
 #include "exp/workload_spec.hh"
 
+#include <algorithm>
+
 #include "trace/generators.hh"
 #include "trace/ifetch.hh"
 #include "util/logging.hh"
@@ -66,16 +68,27 @@ WorkloadSpec::describe() const
     return out;
 }
 
-std::unique_ptr<TraceSource>
+Expected<std::unique_ptr<TraceSource>>
 WorkloadSpec::make() const
 {
     std::unique_ptr<TraceSource> data;
     switch (kind) {
       case Kind::None:
-        fatal("analytic workload spec cannot build a source");
-      case Kind::Spec92:
+        return Status::invalidArgument(
+            "analytic workload spec cannot build a source");
+      case Kind::Spec92: {
+        // Validate the name here: Spec92Profile::make() treats an
+        // unknown profile as fatal, which would kill a whole grid
+        // for one mistyped axis value.
+        const auto &known = Spec92Profile::names();
+        if (std::find(known.begin(), known.end(), profile) ==
+            known.end()) {
+            return Status::notFound("unknown spec92 profile '",
+                                    profile, "'");
+        }
         data = Spec92Profile::make(profile, seed);
         break;
+      }
       case Kind::ShortLevy:
         data = ShortLevyWorkload::make(seed);
         break;
@@ -88,9 +101,10 @@ WorkloadSpec::make() const
         break;
     }
     if (!withIFetch)
-        return data;
-    return std::make_unique<IFetchInterleaver>(
-        std::move(data), IFetchConfig{}, Rng(seed ^ 0xf00d));
+        return Expected<std::unique_ptr<TraceSource>>(std::move(data));
+    return Expected<std::unique_ptr<TraceSource>>(
+        std::make_unique<IFetchInterleaver>(
+            std::move(data), IFetchConfig{}, Rng(seed ^ 0xf00d)));
 }
 
 } // namespace uatm::exp

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "trace/source.hh"
+#include "util/status.hh"
 
 namespace uatm::exp {
 
@@ -24,7 +25,7 @@ struct WorkloadSpec
 {
     enum class Kind : std::uint8_t
     {
-        None,      ///< analytic point; make() fatal()s
+        None,      ///< analytic point; make() returns an error
         Spec92,    ///< Spec92Profile::make(profile, seed)
         ShortLevy, ///< ShortLevyWorkload::make(seed)
         Custom,    ///< user factory (must be pure in its captures)
@@ -70,9 +71,11 @@ struct WorkloadSpec
     /**
      * Build a fresh source, rewound to the stream's beginning.
      * Deterministic: two calls on the same spec produce identical
-     * streams.  fatal() for Kind::None.
+     * streams.  Errors (rather than aborting) for Kind::None and
+     * for unknown Spec92 profile names, so one bad point in a grid
+     * degrades to an error row.
      */
-    std::unique_ptr<TraceSource> make() const;
+    Expected<std::unique_ptr<TraceSource>> make() const;
 };
 
 } // namespace uatm::exp

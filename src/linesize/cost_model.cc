@@ -23,7 +23,7 @@ std::uint32_t
 CacheAreaModel::tagBits(const CacheConfig &config) const
 {
     validate();
-    config.validate();
+    okOrThrow(config.validate());
     const auto offset_bits = static_cast<std::uint32_t>(
         std::countr_zero(
             static_cast<std::uint64_t>(config.lineBytes)));
@@ -72,7 +72,7 @@ costEffectivenessSweep(const MissRatioTable &table,
     std::vector<CostEffectivenessPoint> points;
     for (const auto &entry : table.points()) {
         geometry.lineBytes = entry.lineBytes;
-        geometry.validate();
+        okOrThrow(geometry.validate());
         CostEffectivenessPoint point;
         point.lineBytes = entry.lineBytes;
         point.meanMemoryDelay = delay.meanMemoryDelay(

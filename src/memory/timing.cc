@@ -12,23 +12,32 @@
 
 namespace uatm {
 
-void
+Status
 MemoryConfig::validate() const
 {
     const bool width_ok =
         busWidthBytes == 4 || busWidthBytes == 8 ||
         busWidthBytes == 16 || busWidthBytes == 32;
-    if (!width_ok)
-        fatal("bus width D must be one of {4, 8, 16, 32} bytes, got ",
-              busWidthBytes);
-    if (cycleTime == 0)
-        fatal("memory cycle time must be positive");
-    if (pipelined && pipelineInterval == 0)
-        fatal("pipeline interval q must be positive");
-    if (pipelined && pipelineInterval > cycleTime)
-        fatal("pipeline interval q = ", pipelineInterval,
-              " exceeds the memory cycle time ", cycleTime,
-              "; the pipeline could not sustain its own stages");
+    if (!width_ok) {
+        return Status::invalidArgument(
+            "bus width D must be one of {4, 8, 16, 32} bytes, got ",
+            busWidthBytes);
+    }
+    if (cycleTime == 0) {
+        return Status::invalidArgument(
+            "memory cycle time must be positive");
+    }
+    if (pipelined && pipelineInterval == 0) {
+        return Status::invalidArgument(
+            "pipeline interval q must be positive");
+    }
+    if (pipelined && pipelineInterval > cycleTime) {
+        return Status::invalidArgument(
+            "pipeline interval q = ", pipelineInterval,
+            " exceeds the memory cycle time ", cycleTime,
+            "; the pipeline could not sustain its own stages");
+    }
+    return Status();
 }
 
 std::string
@@ -44,7 +53,7 @@ MemoryConfig::describe() const
 MemoryTiming::MemoryTiming(const MemoryConfig &config)
     : config_(config)
 {
-    config_.validate();
+    okOrThrow(config_.validate());
 }
 
 std::uint32_t

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace uatm::obs {
 class StatRegistry;
 } // namespace uatm::obs
@@ -39,8 +41,8 @@ struct MemoryConfig
      *  (q in Eq. 9); q = 2 is the paper's "best implementation". */
     Cycles pipelineInterval = 2;
 
-    /** fatal() unless widths/cycles are sane. */
-    void validate() const;
+    /** OK when widths/cycles are sane; InvalidArgument otherwise. */
+    Status validate() const;
 
     /** "D=4 mu_m=8 (pipelined q=2)" style summary. */
     std::string describe() const;
@@ -52,6 +54,7 @@ struct MemoryConfig
 class MemoryTiming
 {
   public:
+    /** Throws StatusError when @p config fails validate(). */
     explicit MemoryTiming(const MemoryConfig &config);
 
     const MemoryConfig &config() const { return config_; }

@@ -32,7 +32,7 @@ kindToChar(RefKind kind)
     panic("unknown RefKind");
 }
 
-RefKind
+Expected<RefKind>
 charToKind(char c)
 {
     switch (c) {
@@ -43,26 +43,9 @@ charToKind(char c)
       case 'I':
         return RefKind::IFetch;
       default:
-        fatal("bad reference kind character '", c, "' in trace");
+        return Status::parseError("bad reference kind character '", c,
+                                  "' in trace");
     }
-}
-
-std::ofstream
-openOut(const std::string &path, std::ios::openmode mode)
-{
-    std::ofstream out(path, mode);
-    if (!out)
-        fatal("cannot open trace file '", path, "' for writing");
-    return out;
-}
-
-std::ifstream
-openIn(const std::string &path, std::ios::openmode mode)
-{
-    std::ifstream in(path, mode);
-    if (!in)
-        fatal("cannot open trace file '", path, "' for reading");
-    return in;
 }
 
 constexpr std::uint64_t kBinaryMagic = 0x5541544d54524331ull; // UATMTRC1
@@ -80,7 +63,7 @@ TextTraceFormat::write(const Trace &trace, std::ostream &out)
     }
 }
 
-Trace
+Expected<Trace>
 TextTraceFormat::read(std::istream &in)
 {
     Trace trace;
@@ -96,12 +79,19 @@ TextTraceFormat::read(std::istream &in)
         unsigned size = 0;
         std::uint32_t gap = 0;
         ls >> kind_char >> std::hex >> addr >> std::dec >> size >> gap;
-        if (!ls)
-            fatal("malformed trace line ", lineno, ": '", line, "'");
-        if (!isValidAccessSize(static_cast<std::uint8_t>(size)))
-            fatal("bad access size ", size, " on trace line ", lineno);
+        if (!ls) {
+            return Status::parseError("malformed trace line ", lineno,
+                                      ": '", line, "'");
+        }
+        if (!isValidAccessSize(static_cast<std::uint8_t>(size))) {
+            return Status::parseError("bad access size ", size,
+                                      " on trace line ", lineno);
+        }
+        auto kind = charToKind(kind_char);
+        if (!kind.ok())
+            return kind.status();
         MemoryReference ref;
-        ref.kind = charToKind(kind_char);
+        ref.kind = kind.value();
         ref.addr = addr;
         ref.size = static_cast<std::uint8_t>(size);
         ref.gap = gap;
@@ -110,17 +100,26 @@ TextTraceFormat::read(std::istream &in)
     return trace;
 }
 
-void
+Status
 TextTraceFormat::writeFile(const Trace &trace, const std::string &path)
 {
-    auto out = openOut(path, std::ios::out);
+    std::ofstream out(path, std::ios::out);
+    if (!out) {
+        return Status::ioError("cannot open trace file '", path,
+                               "' for writing");
+    }
     write(trace, out);
+    return Status();
 }
 
-Trace
+Expected<Trace>
 TextTraceFormat::readFile(const std::string &path)
 {
-    auto in = openIn(path, std::ios::in);
+    std::ifstream in(path, std::ios::in);
+    if (!in) {
+        return Status::ioError("cannot open trace file '", path,
+                               "' for reading");
+    }
     return read(in);
 }
 
@@ -141,50 +140,64 @@ BinaryTraceFormat::write(const Trace &trace, std::ostream &out)
     }
 }
 
-Trace
+Expected<Trace>
 BinaryTraceFormat::read(std::istream &in)
 {
     std::uint64_t magic = 0;
     in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
     if (!in || magic != kBinaryMagic)
-        fatal("not a uatm binary trace (bad magic)");
+        return Status::parseError("not a uatm binary trace (bad magic)");
     std::uint64_t count = 0;
     in.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!in)
-        fatal("truncated binary trace header");
+        return Status::parseError("truncated binary trace header");
     Trace trace;
     for (std::uint64_t i = 0; i < count; ++i) {
         std::array<char, 14> record{};
         in.read(record.data(), record.size());
         if (!in)
-            fatal("truncated binary trace at record ", i);
+            return Status::parseError("truncated binary trace at record ",
+                                      i);
         MemoryReference ref;
         std::memcpy(&ref.addr, record.data(), 8);
         std::memcpy(&ref.gap, record.data() + 8, 4);
         ref.size = static_cast<std::uint8_t>(record[12]);
         const auto kind_raw = static_cast<std::uint8_t>(record[13]);
-        if (kind_raw > static_cast<std::uint8_t>(RefKind::IFetch))
-            fatal("bad reference kind in binary trace record ", i);
+        if (kind_raw > static_cast<std::uint8_t>(RefKind::IFetch)) {
+            return Status::parseError(
+                "bad reference kind in binary trace record ", i);
+        }
         ref.kind = static_cast<RefKind>(kind_raw);
-        if (!isValidAccessSize(ref.size))
-            fatal("bad access size in binary trace record ", i);
+        if (!isValidAccessSize(ref.size)) {
+            return Status::parseError(
+                "bad access size in binary trace record ", i);
+        }
         trace.append(ref);
     }
     return trace;
 }
 
-void
+Status
 BinaryTraceFormat::writeFile(const Trace &trace,
                              const std::string &path)
 {
-    auto out = openOut(path, std::ios::out | std::ios::binary);
+    std::ofstream out(path, std::ios::out | std::ios::binary);
+    if (!out) {
+        return Status::ioError("cannot open trace file '", path,
+                               "' for writing");
+    }
     write(trace, out);
+    return Status();
 }
 
-Trace
+Expected<Trace>
 BinaryTraceFormat::readFile(const std::string &path)
 {
-    auto in = openIn(path, std::ios::in | std::ios::binary);
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in) {
+        return Status::ioError("cannot open trace file '", path,
+                               "' for reading");
+    }
     return read(in);
 }
 

@@ -3,6 +3,11 @@
  * Trace persistence: a dinero-style text format and a compact
  * binary format, so generated workloads can be captured, diffed and
  * replayed across machines.
+ *
+ * Readers return Expected<Trace>: malformed lines, bad magic, bad
+ * access sizes and unreadable files come back as error Statuses the
+ * caller can surface (a CLI fatal()s, a scenario kernel degrades to
+ * an error row) instead of killing the process.
  */
 
 #ifndef UATM_TRACE_IO_HH
@@ -12,6 +17,7 @@
 #include <string>
 
 #include "trace/source.hh"
+#include "util/status.hh"
 
 namespace uatm {
 
@@ -28,12 +34,13 @@ struct TextTraceFormat
     /** Write @p trace to @p out. */
     static void write(const Trace &trace, std::ostream &out);
 
-    /** Parse a trace; fatal() on malformed input. */
-    static Trace read(std::istream &in);
+    /** Parse a trace; error Status on malformed input. */
+    static Expected<Trace> read(std::istream &in);
 
     /** File-path conveniences. */
-    static void writeFile(const Trace &trace, const std::string &path);
-    static Trace readFile(const std::string &path);
+    static Status writeFile(const Trace &trace,
+                            const std::string &path);
+    static Expected<Trace> readFile(const std::string &path);
 };
 
 /**
@@ -43,9 +50,10 @@ struct TextTraceFormat
 struct BinaryTraceFormat
 {
     static void write(const Trace &trace, std::ostream &out);
-    static Trace read(std::istream &in);
-    static void writeFile(const Trace &trace, const std::string &path);
-    static Trace readFile(const std::string &path);
+    static Expected<Trace> read(std::istream &in);
+    static Status writeFile(const Trace &trace,
+                            const std::string &path);
+    static Expected<Trace> readFile(const std::string &path);
 };
 
 } // namespace uatm

@@ -25,6 +25,7 @@
 #include "util/options.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
 // Workload substrate.

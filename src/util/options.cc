@@ -5,6 +5,10 @@
 
 #include "util/options.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -104,10 +108,14 @@ OptionParser::getInt(const std::string &name) const
 {
     const Option &opt = require(name, Kind::Int);
     char *end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(opt.value.c_str(), &end, 10);
     if (end == opt.value.c_str() || *end != '\0')
         fatal("option '--", name, "': '", opt.value,
               "' is not an integer");
+    if (errno == ERANGE)
+        fatal("option '--", name, "': '", opt.value,
+              "' overflows a 64-bit integer");
     return v;
 }
 
@@ -116,17 +124,32 @@ OptionParser::getDouble(const std::string &name) const
 {
     const Option &opt = require(name, Kind::Double);
     char *end = nullptr;
+    errno = 0;
     const double v = std::strtod(opt.value.c_str(), &end);
     if (end == opt.value.c_str() || *end != '\0')
         fatal("option '--", name, "': '", opt.value,
               "' is not a number");
+    if (errno == ERANGE && (v >= HUGE_VAL || v <= -HUGE_VAL))
+        fatal("option '--", name, "': '", opt.value,
+              "' overflows a double");
     return v;
 }
 
 bool
 OptionParser::getFlag(const std::string &name) const
 {
-    return require(name, Kind::Flag).value == "1";
+    const Option &opt = require(name, Kind::Flag);
+    std::string value = opt.value;
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (value == "1" || value == "true" || value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "no")
+        return false;
+    fatal("option '--", name, "': bad flag value '", opt.value,
+          "' (expected 1/0/true/false/yes/no)");
 }
 
 std::string

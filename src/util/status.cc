@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Implementation of the recoverable-error substrate.
+ */
+
+#include "util/status.hh"
+
+namespace uatm {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::ParseError:
+        return "parse_error";
+      case ErrorCode::IoError:
+        return "io_error";
+      case ErrorCode::NotFound:
+        return "not_found";
+      case ErrorCode::OutOfRange:
+        return "out_of_range";
+      case ErrorCode::KernelError:
+        return "kernel_error";
+    }
+    panic("unknown ErrorCode ", static_cast<int>(code));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string out = errorCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace uatm

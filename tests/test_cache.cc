@@ -45,24 +45,28 @@ TEST(CacheConfig, GeometryDerivation)
     config.lineBytes = 32;
     EXPECT_EQ(config.numSets(), 128u);
     EXPECT_EQ(config.numLines(), 256u);
-    config.validate();
+    EXPECT_TRUE(config.validate().ok());
 }
 
 TEST(CacheConfig, RejectsNonPow2Size)
 {
     CacheConfig config;
     config.sizeBytes = 3000;
-    EXPECT_EXIT(config.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "power of two");
+    const Status status = config.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("power of two"),
+              std::string::npos);
 }
 
 TEST(CacheConfig, RejectsTinyLine)
 {
     CacheConfig config;
     config.lineBytes = 2;
-    EXPECT_EXIT(config.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE), "line");
+    const Status status = config.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("line"), std::string::npos);
 }
 
 TEST(CacheConfig, DescribeMentionsGeometry)

@@ -19,6 +19,7 @@
 #include "exp/scenarios.hh"
 #include "exp/workload_spec.hh"
 #include "obs/registry.hh"
+#include "obs/trace_event.hh"
 #include "trace/generators.hh"
 
 namespace uatm::exp {
@@ -51,8 +52,8 @@ TEST(Scenario, ExpansionIsRowMajorFirstAxisSlowest)
                                   {2, 10}, {2, 20}, {2, 30}};
     for (std::size_t i = 0; i < points.size(); ++i) {
         EXPECT_EQ(points[i].index, i);
-        EXPECT_EQ(points[i].coord("a"), expected[i][0]);
-        EXPECT_EQ(points[i].coord("b"), expected[i][1]);
+        EXPECT_EQ(points[i].coord("a").value(), expected[i][0]);
+        EXPECT_EQ(points[i].coord("b").value(), expected[i][1]);
     }
 }
 
@@ -79,8 +80,11 @@ TEST(Scenario, PointLabelAndMissingAxis)
     const auto points = scenario.expand();
     ASSERT_EQ(points.size(), 1u);
     EXPECT_EQ(points[0].label(), "feature=FS");
-    EXPECT_EQ(points[0].coordLabel("feature"), "FS");
-    EXPECT_DEATH(points[0].coord("nope"), "no axis");
+    EXPECT_EQ(points[0].coordLabel("feature").value(), "FS");
+    const auto missing = points[0].coord("nope");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), ErrorCode::NotFound);
+    EXPECT_FALSE(points[0].coordLabel("nope").ok());
 }
 
 TEST(Scenario, NumericLabelsAreIntegralWhenExact)
@@ -123,10 +127,14 @@ TEST(ResultTable, RowArityIsChecked)
 
 TEST(ResultTable, ParseFormatNames)
 {
-    EXPECT_EQ(parseTableFormat("text"), TableFormat::Text);
-    EXPECT_EQ(parseTableFormat("csv"), TableFormat::Csv);
-    EXPECT_EQ(parseTableFormat("json"), TableFormat::Json);
-    EXPECT_DEATH(parseTableFormat("yaml"), "unknown table format");
+    EXPECT_EQ(parseTableFormat("text").value(), TableFormat::Text);
+    EXPECT_EQ(parseTableFormat("csv").value(), TableFormat::Csv);
+    EXPECT_EQ(parseTableFormat("json").value(), TableFormat::Json);
+    const auto bad = parseTableFormat("yaml");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(bad.status().message().find("unknown table format"),
+              std::string::npos);
 }
 
 // --------------------------------------------------- WorkloadSpec
@@ -134,8 +142,8 @@ TEST(ResultTable, ParseFormatNames)
 TEST(WorkloadSpec, MakeIsDeterministicAndRewound)
 {
     const WorkloadSpec spec = WorkloadSpec::spec92("swm256", 17);
-    auto a = spec.make();
-    auto b = spec.make();
+    auto a = okOrThrow(spec.make());
+    auto b = okOrThrow(spec.make());
     EXPECT_EQ(a->drain(400), b->drain(400));
 }
 
@@ -143,8 +151,8 @@ TEST(WorkloadSpec, IFetchVariantInterleavesDeterministically)
 {
     WorkloadSpec spec = WorkloadSpec::spec92("ear", 3);
     spec.withIFetch = true;
-    auto a = spec.make();
-    auto b = spec.make();
+    auto a = okOrThrow(spec.make());
+    auto b = okOrThrow(spec.make());
     const auto refs = a->drain(500);
     EXPECT_EQ(refs, b->drain(500));
     bool sawIFetch = false;
@@ -176,7 +184,7 @@ mixedScenario()
 std::vector<Cell>
 mixedKernel(const Point &point)
 {
-    auto source = point.workload.make();
+    auto source = okOrThrow(point.workload.make());
     const auto run = runCacheSim(point.cache, *source, point.refs);
     return {Cell::num(run.hitRatio(), 6),
             Cell::num(run.missRatio(), 6)};
@@ -193,8 +201,10 @@ TEST(Runner, OneVsEightThreadsIsByteIdentical)
     EXPECT_EQ(a.renderText(), b.renderText());
     EXPECT_EQ(a.renderCsv(), b.renderCsv());
     EXPECT_EQ(a.renderJson(), b.renderJson());
-    EXPECT_EQ(serial.lastStats().threadsUsed, 1u);
+    // Serial runs execute inline on the calling thread.
+    EXPECT_EQ(serial.lastStats().threadsUsed, 0u);
     EXPECT_EQ(serial.lastStats().points, 6u);
+    EXPECT_EQ(serial.lastStats().pointsFailed, 0u);
 }
 
 TEST(Runner, RowsMergeInExpansionOrder)
@@ -206,7 +216,7 @@ TEST(Runner, RowsMergeInExpansionOrder)
     const ResultTable table = runner.run(
         scenario, {"twice"}, [](const Point &point) {
             return std::vector<Cell>{
-                Cell::num(2.0 * point.coord("i"), 0)};
+                Cell::num(2.0 * point.coord("i").value(), 0)};
         });
     ASSERT_EQ(table.rows(), 8u);
     for (std::size_t i = 0; i < 8; ++i) {
@@ -226,12 +236,12 @@ TEST(Runner, ZeroThreadsMeansHardwareConcurrency)
     EXPECT_EQ(runner.effectiveThreads(1), 1u);
 }
 
-TEST(Runner, KernelExceptionPropagates)
+TEST(Runner, KernelExceptionPropagatesUnderFailFast)
 {
     Scenario scenario("throws");
     scenario.sweep("i", {0, 1, 2, 3},
                    [](Point &, const AxisValue &) {});
-    Runner runner(RunnerOptions{2});
+    Runner runner(RunnerOptions{2, /*failFast=*/true});
     EXPECT_THROW(
         runner.run(scenario, {"x"},
                    [](const Point &point) -> std::vector<Cell> {
@@ -240,6 +250,147 @@ TEST(Runner, KernelExceptionPropagates)
                        return {Cell::num(1.0)};
                    }),
         std::runtime_error);
+    // Regression: stats must reflect the aborted run, not go stale.
+    EXPECT_EQ(runner.lastStats().points, 4u);
+    EXPECT_GE(runner.lastStats().pointsFailed, 1u);
+}
+
+TEST(Runner, FaultIsolationEmitsErrorRows)
+{
+    Scenario scenario("isolated");
+    scenario.sweep("i", {0, 1, 2, 3},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{2});
+    const ResultTable table = runner.run(
+        scenario, {"x"},
+        [](const Point &point) -> std::vector<Cell> {
+            if (point.index == 2)
+                throw std::runtime_error("boom");
+            return {Cell::num(1.0)};
+        });
+
+    // The run completes: the failed point degrades to an error row
+    // instead of killing the sweep.
+    ASSERT_EQ(table.rows(), 4u);
+    EXPECT_TRUE(table.at(2, 1).isError());
+    EXPECT_EQ(table.at(2, 1).str(), "!kernel_error");
+    EXPECT_FALSE(table.at(1, 1).isError());
+
+    EXPECT_EQ(runner.lastStats().points, 4u);
+    EXPECT_EQ(runner.lastStats().pointsFailed, 1u);
+    ASSERT_EQ(runner.lastFailures().size(), 1u);
+    EXPECT_EQ(runner.lastFailures()[0].index, 2u);
+    EXPECT_EQ(runner.lastFailures()[0].status.code(),
+              ErrorCode::KernelError);
+    EXPECT_NE(runner.lastFailures()[0].status.message().find("boom"),
+              std::string::npos);
+}
+
+TEST(Runner, FaultIsolationIsByteIdenticalAcrossThreads)
+{
+    const auto kernel =
+        [](const Point &point) -> Expected<std::vector<Cell>> {
+        if (point.index == 3)
+            return Status::invalidArgument("degenerate geometry");
+        if (point.index == 5)
+            throw std::runtime_error("boom");
+        return std::vector<Cell>{
+            Cell::num(3.0 * point.coord("i").value(), 0)};
+    };
+    auto makeScenario = [] {
+        Scenario scenario("grid");
+        scenario.sweep("i", {0, 1, 2, 3, 4, 5, 6, 7},
+                       [](Point &, const AxisValue &) {});
+        return scenario;
+    };
+
+    Runner one(RunnerOptions{1});
+    Runner eight(RunnerOptions{8});
+    const ResultTable a = one.run(makeScenario(), {"x"}, kernel);
+    const ResultTable b = eight.run(makeScenario(), {"x"}, kernel);
+    EXPECT_EQ(a.renderCsv(), b.renderCsv());
+    EXPECT_EQ(a.renderText(), b.renderText());
+    EXPECT_EQ(a.renderJson(), b.renderJson());
+    EXPECT_EQ(one.lastStats().pointsFailed, 2u);
+    EXPECT_EQ(eight.lastStats().pointsFailed, 2u);
+}
+
+TEST(Runner, StatusReturnAndStatusErrorKeepTheirCodes)
+{
+    Scenario scenario("typed");
+    scenario.sweep("i", {0, 1, 2},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{1});
+    const ResultTable table = runner.run(
+        scenario, {"x"},
+        [](const Point &point) -> Expected<std::vector<Cell>> {
+            if (point.index == 0)
+                return Status::notFound("no such profile");
+            if (point.index == 1)
+                throw StatusError(
+                    Status::outOfRange("hr out of range"));
+            return std::vector<Cell>{Cell::num(1.0)};
+        });
+    EXPECT_EQ(table.at(0, 1).str(), "!not_found");
+    EXPECT_EQ(table.at(1, 1).str(), "!out_of_range");
+    EXPECT_FALSE(table.at(2, 1).isError());
+    EXPECT_EQ(runner.lastStats().pointsFailed, 2u);
+}
+
+/** A distinct exception type for checking fail-fast rethrow. */
+struct BespokeError : std::runtime_error
+{
+    BespokeError() : std::runtime_error("bespoke") {}
+};
+
+TEST(Runner, FailFastRethrowsTheOriginalException)
+{
+    Scenario scenario("failfast");
+    scenario.sweep("i", {0, 1, 2, 3},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{2, /*failFast=*/true});
+    EXPECT_THROW(
+        runner.run(scenario, {"x"},
+                   [](const Point &point) -> std::vector<Cell> {
+                       if (point.index == 1)
+                           throw BespokeError();
+                       return {Cell::num(1.0)};
+                   }),
+        BespokeError);
+}
+
+TEST(Runner, FailFastWrapsStatusReturnsAsStatusError)
+{
+    Scenario scenario("failfast-status");
+    scenario.sweep("i", {0, 1},
+                   [](Point &, const AxisValue &) {});
+    Runner runner(RunnerOptions{1, /*failFast=*/true});
+    try {
+        runner.run(scenario, {"x"},
+                   [](const Point &) -> Expected<std::vector<Cell>> {
+                       return Status::invalidArgument("bad input");
+                   });
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::InvalidArgument);
+    }
+}
+
+TEST(Runner, TracerForcesSerialAndReportsOneThreadRequested)
+{
+    obs::globalTracer().setEnabled(true);
+    Runner runner(RunnerOptions{8});
+    Scenario scenario("traced");
+    scenario.sweep("i", {0, 1, 2, 3},
+                   [](Point &, const AxisValue &) {});
+    runner.run(scenario, {"x"}, [](const Point &) {
+        return std::vector<Cell>{Cell::num(0.0)};
+    });
+    obs::globalTracer().setEnabled(false);
+    // Regression: a tracer-forced-serial run must not claim it
+    // requested hardware_concurrency() threads.
+    EXPECT_EQ(runner.lastStats().threadsRequested, 1u);
+    EXPECT_EQ(runner.lastStats().threadsUsed, 0u);
 }
 
 TEST(Runner, StatsRegisterUnderPrefix)
@@ -254,7 +405,8 @@ TEST(Runner, StatsRegisterUnderPrefix)
     obs::StatRegistry registry;
     runner.lastStats().registerStats(registry, "exp");
     EXPECT_EQ(registry.value("exp.points"), 2.0);
-    EXPECT_EQ(registry.value("exp.threads_used"), 1.0);
+    EXPECT_EQ(registry.value("exp.points_failed"), 0.0);
+    EXPECT_EQ(registry.value("exp.threads_used"), 0.0);
     EXPECT_TRUE(registry.contains("exp.wall_seconds"));
 }
 

@@ -29,15 +29,19 @@ TEST(MemoryConfig, RejectsBadWidth)
 {
     MemoryConfig config;
     config.busWidthBytes = 6;
-    EXPECT_EXIT(config.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE), "width");
+    const Status status = config.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("width"), std::string::npos);
 }
 
 TEST(MemoryConfig, RejectsQAboveMuM)
 {
     MemoryConfig config = basicConfig(2, true, 3);
-    EXPECT_EXIT(config.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE), "interval");
+    const Status status = config.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("interval"), std::string::npos);
 }
 
 TEST(MemoryConfig, DescribeShowsPipeline)

@@ -21,11 +21,11 @@ TEST(UmbrellaHeader, EverythingIsReachable)
     Trace trace;
     EXPECT_TRUE(trace.empty());
     CacheConfig cache;
-    cache.validate();
+    EXPECT_TRUE(cache.validate().ok());
     MemoryConfig memory;
-    memory.validate();
+    EXPECT_TRUE(memory.validate().ok());
     Machine machine;
-    machine.validate();
+    EXPECT_TRUE(machine.validate().ok());
     LineDelayModel delay;
     delay.validate();
     CacheAreaModel area;
@@ -183,8 +183,14 @@ TEST(VictimPricing, RejectsSwapDearerThanMiss)
     ctx.machine.busWidth = 4;
     ctx.machine.lineBytes = 32;
     ctx.machine.cycleTime = 2;
-    EXPECT_DEATH({ missFactorVictim(ctx, 0.5, 1000.0); },
-                 "cheaper");
+    try {
+        missFactorVictim(ctx, 0.5, 1000.0);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(e.status().message().find("cheaper"),
+                  std::string::npos);
+    }
 }
 
 // --------------------------------------------------- stat counters

@@ -476,9 +476,9 @@ TEST(TimingEngine, RejectsLineNarrowerThanBus)
     mem.busWidthBytes = 8;
     mem.cycleTime = 4;
     CpuConfig cpu;
-    EXPECT_DEATH(
+    EXPECT_THROW(
         { TimingEngine engine(cache, mem, WriteBufferConfig{}, cpu); },
-        "line size");
+        StatusError);
 }
 
 } // namespace

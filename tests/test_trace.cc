@@ -140,7 +140,7 @@ TEST(TextTrace, RoundTrips)
 
     std::stringstream buffer;
     TextTraceFormat::write(t, buffer);
-    const Trace back = TextTraceFormat::read(buffer);
+    const Trace back = okOrThrow(TextTraceFormat::read(buffer));
 
     ASSERT_EQ(back.size(), t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
@@ -150,7 +150,7 @@ TEST(TextTrace, RoundTrips)
 TEST(TextTrace, SkipsCommentsAndBlanks)
 {
     std::stringstream in("# header\n\nL ff 4 0\n");
-    const Trace t = TextTraceFormat::read(in);
+    const Trace t = okOrThrow(TextTraceFormat::read(in));
     ASSERT_EQ(t.size(), 1u);
     EXPECT_EQ(t.at(0).addr, 0xffu);
 }
@@ -160,8 +160,8 @@ TEST(TextTrace, FileRoundTrip)
     const std::string path = "/tmp/uatm_test_trace.txt";
     Trace t;
     t.append(makeRef(RefKind::Store, 0x1234, 4, 9));
-    TextTraceFormat::writeFile(t, path);
-    const Trace back = TextTraceFormat::readFile(path);
+    ASSERT_TRUE(TextTraceFormat::writeFile(t, path).ok());
+    const Trace back = okOrThrow(TextTraceFormat::readFile(path));
     ASSERT_EQ(back.size(), 1u);
     EXPECT_EQ(back.at(0), t.at(0));
     std::remove(path.c_str());
@@ -179,7 +179,7 @@ TEST(BinaryTrace, RoundTrips)
     }
     std::stringstream buffer;
     BinaryTraceFormat::write(t, buffer);
-    const Trace back = BinaryTraceFormat::read(buffer);
+    const Trace back = okOrThrow(BinaryTraceFormat::read(buffer));
     ASSERT_EQ(back.size(), t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
         EXPECT_EQ(back.at(i), t.at(i)) << "record " << i;
@@ -190,44 +190,54 @@ TEST(BinaryTrace, FileRoundTrip)
     const std::string path = "/tmp/uatm_test_trace.bin";
     Trace t;
     t.append(makeRef(RefKind::Load, 0xabcdef0123, 8, 2));
-    BinaryTraceFormat::writeFile(t, path);
-    const Trace back = BinaryTraceFormat::readFile(path);
+    ASSERT_TRUE(BinaryTraceFormat::writeFile(t, path).ok());
+    const Trace back = okOrThrow(BinaryTraceFormat::readFile(path));
     ASSERT_EQ(back.size(), 1u);
     EXPECT_EQ(back.at(0), t.at(0));
     std::remove(path.c_str());
 }
 
-TEST(TextTrace, MalformedLineIsFatal)
+TEST(TextTrace, MalformedLineIsParseError)
 {
     std::stringstream in("L zz not a trace\n");
-    EXPECT_EXIT({ TextTraceFormat::read(in); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "malformed");
+    const auto result = TextTraceFormat::read(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("malformed"),
+              std::string::npos);
 }
 
-TEST(TextTrace, BadAccessSizeIsFatal)
+TEST(TextTrace, BadAccessSizeIsParseError)
 {
     std::stringstream in("L ff 3 0\n");
-    EXPECT_EXIT({ TextTraceFormat::read(in); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "access size");
+    const auto result = TextTraceFormat::read(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("access size"),
+              std::string::npos);
 }
 
-TEST(TextTrace, BadKindIsFatal)
+TEST(TextTrace, BadKindIsParseError)
 {
     std::stringstream in("Q ff 4 0\n");
-    EXPECT_EXIT({ TextTraceFormat::read(in); },
-                ::testing::ExitedWithCode(EXIT_FAILURE), "kind");
+    const auto result = TextTraceFormat::read(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("kind"),
+              std::string::npos);
 }
 
-TEST(BinaryTrace, BadMagicIsFatal)
+TEST(BinaryTrace, BadMagicIsParseError)
 {
     std::stringstream in("this is not a trace file at all");
-    EXPECT_EXIT({ BinaryTraceFormat::read(in); },
-                ::testing::ExitedWithCode(EXIT_FAILURE), "magic");
+    const auto result = BinaryTraceFormat::read(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("magic"),
+              std::string::npos);
 }
 
-TEST(BinaryTrace, TruncatedBodyIsFatal)
+TEST(BinaryTrace, TruncatedBodyIsParseError)
 {
     Trace t;
     t.append(MemoryReference{0x10, 0, 4, RefKind::Load});
@@ -238,18 +248,47 @@ TEST(BinaryTrace, TruncatedBodyIsFatal)
     // Drop the last 10 bytes: mid-record truncation.
     std::stringstream cut(
         whole.substr(0, whole.size() - 10));
-    EXPECT_EXIT({ BinaryTraceFormat::read(cut); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "truncated");
+    const auto result = BinaryTraceFormat::read(cut);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("truncated"),
+              std::string::npos);
 }
 
-TEST(TraceIo, MissingFileIsFatal)
+TEST(BinaryTrace, BadRecordKindIsParseError)
 {
-    EXPECT_EXIT(
-        {
-            TextTraceFormat::readFile("/nonexistent/trace.txt");
-        },
-        ::testing::ExitedWithCode(EXIT_FAILURE), "cannot open");
+    Trace t;
+    t.append(MemoryReference{0x10, 0, 4, RefKind::Load});
+    std::stringstream buffer;
+    BinaryTraceFormat::write(t, buffer);
+    std::string whole = buffer.str();
+    whole.back() = 0x7f; // corrupt the record's kind byte
+    std::stringstream corrupt(whole);
+    const auto result = BinaryTraceFormat::read(corrupt);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("kind"),
+              std::string::npos);
+}
+
+TEST(TraceIo, MissingFileIsIoError)
+{
+    const auto result =
+        TextTraceFormat::readFile("/nonexistent/trace.txt");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::IoError);
+    EXPECT_NE(result.status().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceIo, UnwritablePathIsIoError)
+{
+    Trace t;
+    t.append(MemoryReference{0x10, 0, 4, RefKind::Load});
+    const Status status =
+        TextTraceFormat::writeFile(t, "/nonexistent/dir/t.txt");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::IoError);
 }
 
 // -------------------------------------------------------- WorkloadProfile

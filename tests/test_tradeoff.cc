@@ -163,9 +163,14 @@ TEST(WidenBus, ComposesLikeTwoSteps)
 TEST(WidenBus, RejectsWideningPastTheLine)
 {
     const TradeoffContext ctx = context(6, 8, 4);
-    EXPECT_EXIT({ missFactorWidenBus(ctx, 4.0); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "exceed");
+    try {
+        missFactorWidenBus(ctx, 4.0);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(e.status().message().find("exceed"),
+                  std::string::npos);
+    }
 }
 
 // ----------------------------------------------------------- partial stall
@@ -252,12 +257,17 @@ TEST(Eq6, DeltaIsProportionalToMissRatio)
     EXPECT_NEAR(hitRatioTraded(1.0, 0.90), 0.0, 1e-12);
 }
 
-TEST(Eq6, OutOfRangeIsFatal)
+TEST(Eq6, OutOfRangeThrows)
 {
     // r so large that HR2 < 0: Eq. 6's validity bound.
-    EXPECT_EXIT({ equivalentHitRatio(100.0, 0.5); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "validity");
+    try {
+        equivalentHitRatio(100.0, 0.5);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::OutOfRange);
+        EXPECT_NE(e.status().message().find("validity"),
+                  std::string::npos);
+    }
 }
 
 TEST(Eq7, InverseDirectionConsistent)
@@ -341,21 +351,28 @@ TEST(TradeoffContext, RejectsPipelinedBase)
 {
     TradeoffContext ctx = context(8);
     ctx.machine = ctx.machine.withPipelining(2);
-    EXPECT_EXIT(ctx.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "non-pipelined");
+    const Status status = ctx.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("non-pipelined"),
+              std::string::npos);
 }
 
-TEST(MissFactor, FatalWhenCostBelowHitCycle)
+TEST(MissFactor, ThrowsWhenCostBelowHitCycle)
 {
     Machine m;
     m.busWidth = 8;
     m.lineBytes = 8;
     m.cycleTime = 1;
     // per-miss cost = (1 + 0) * 1 = 1: not > 1.
-    EXPECT_EXIT({ missFactor(m, 1.0, 0.0, m, 1.0, 0.0); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "per-miss");
+    try {
+        missFactor(m, 1.0, 0.0, m, 1.0, 0.0);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::OutOfRange);
+        EXPECT_NE(e.status().message().find("per-miss"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

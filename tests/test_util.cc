@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 
 #include "util/ascii_chart.hh"
 #include "util/csv.hh"
@@ -17,6 +18,7 @@
 #include "util/options.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 
 namespace uatm {
@@ -455,6 +457,162 @@ TEST(OptionParser, UsageMentionsEveryOption)
     EXPECT_NE(usage.find("--alpha"), std::string::npos);
     EXPECT_NE(usage.find("--fast"), std::string::npos);
     EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+// ------------------------------------- OptionParser, negative paths
+
+TEST(OptionParser, FlagAcceptsSpelledOutBooleans)
+{
+    OptionParser p("prog");
+    p.addFlag("a", "a");
+    p.addFlag("b", "b");
+    p.addFlag("c", "c");
+    const char *argv[] = {"prog", "--a=TRUE", "--b=Yes", "--c=0"};
+    ASSERT_TRUE(p.parse(4, argv));
+    EXPECT_TRUE(p.getFlag("a"));
+    EXPECT_TRUE(p.getFlag("b"));
+    EXPECT_FALSE(p.getFlag("c"));
+}
+
+TEST(OptionParser, BadFlagValueIsFatal)
+{
+    OptionParser p("prog");
+    p.addFlag("fast", "go fast");
+    const char *argv[] = {"prog", "--fast=maybe"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_EXIT({ p.getFlag("fast"); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "bad flag value");
+}
+
+TEST(OptionParser, IntOverflowIsFatal)
+{
+    OptionParser p("prog");
+    p.addInt("n", 0, "n");
+    const char *argv[] = {"prog", "--n=99999999999999999999"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_EXIT({ p.getInt("n"); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "overflows");
+}
+
+TEST(OptionParser, NonNumericIntIsFatal)
+{
+    OptionParser p("prog");
+    p.addInt("n", 0, "n");
+    const char *argv[] = {"prog", "--n=12abc"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_EXIT({ p.getInt("n"); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "not an integer");
+}
+
+TEST(OptionParser, DoubleOverflowIsFatal)
+{
+    OptionParser p("prog");
+    p.addDouble("x", 0.0, "x");
+    const char *argv[] = {"prog", "--x=1e999"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_EXIT({ p.getDouble("x"); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "overflows");
+}
+
+TEST(OptionParser, MissingValueIsFatal)
+{
+    OptionParser p("prog");
+    p.addInt("n", 0, "n");
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_EXIT({ p.parse(2, argv); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "needs a value");
+}
+
+TEST(OptionParser, UnknownOptionIsFatal)
+{
+    OptionParser p("prog");
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_EXIT({ p.parse(2, argv); },
+                ::testing::ExitedWithCode(EXIT_FAILURE),
+                "unknown option");
+}
+
+// ------------------------------------------------- Status, Expected
+
+TEST(Status, DefaultIsOk)
+{
+    const Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::Ok);
+    EXPECT_EQ(status.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndFoldedMessage)
+{
+    const Status status =
+        Status::invalidArgument("bad size ", 42, " for axis");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(status.message(), "bad size 42 for axis");
+    EXPECT_EQ(status.toString(),
+              "invalid_argument: bad size 42 for axis");
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "invalid_argument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::ParseError),
+                 "parse_error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io_error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::NotFound), "not_found");
+    EXPECT_STREQ(errorCodeName(ErrorCode::OutOfRange),
+                 "out_of_range");
+    EXPECT_STREQ(errorCodeName(ErrorCode::KernelError),
+                 "kernel_error");
+}
+
+TEST(Expected, HoldsValueOrStatus)
+{
+    const Expected<int> good = 7;
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 7);
+    EXPECT_EQ(good.valueOr(0), 7);
+
+    const Expected<int> bad = Status::notFound("no such thing");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::NotFound);
+    EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValuesUnwrap)
+{
+    Expected<std::unique_ptr<int>> e =
+        std::make_unique<int>(5);
+    auto p = okOrThrow(std::move(e));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(Expected, OkOrThrowRaisesStatusError)
+{
+    const Status status = Status::parseError("bad line");
+    EXPECT_THROW(okOrThrow(status), StatusError);
+    try {
+        okOrThrow(Expected<int>(Status::ioError("disk gone")));
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::IoError);
+        EXPECT_NE(std::string(e.what()).find("disk gone"),
+                  std::string::npos);
+    }
+}
+
+TEST(Expected, ValueOnErrorIsACallerBug)
+{
+    const Expected<int> bad = Status::notFound("gone");
+    EXPECT_DEATH({ bad.value(); }, "Expected::value");
 }
 
 // --------------------------------------------------------------- Logging

@@ -40,9 +40,11 @@ directMapped(std::uint64_t size = 128)
 
 TEST(VictimCache, RejectsZeroEntries)
 {
-    EXPECT_EXIT({ VictimConfig{0}.validate(); },
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "at least one");
+    const Status status = VictimConfig{0}.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("at least one"),
+              std::string::npos);
 }
 
 TEST(VictimCache, EvictedLineLandsInBuffer)

@@ -177,8 +177,15 @@ TEST(Machine, DoublingPastLineIsAnError)
     Machine m;
     m.busWidth = 32;
     m.lineBytes = 32;
-    EXPECT_DEATH({ auto w = m.withDoubledBus(); (void)w; },
-                 "exceed");
+    try {
+        auto w = m.withDoubledBus();
+        (void)w;
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::InvalidArgument);
+        EXPECT_NE(e.status().message().find("exceed"),
+                  std::string::npos);
+    }
 }
 
 TEST(Machine, ValidateRejectsLineSmallerThanBus)
@@ -186,9 +193,10 @@ TEST(Machine, ValidateRejectsLineSmallerThanBus)
     Machine m;
     m.busWidth = 16;
     m.lineBytes = 8;
-    EXPECT_EXIT(m.validate(),
-                ::testing::ExitedWithCode(EXIT_FAILURE),
-                "at least");
+    const Status status = m.validate();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("at least"), std::string::npos);
 }
 
 TEST(Machine, WithCycleTimePreservesRest)
