@@ -6,18 +6,30 @@
  * tools/perf_diff, and reports the wall-clock speedup of each
  * thread count over the serial run.  Before timing anything, it
  * asserts the merged CSV is byte-identical at every thread count —
- * the runner's core determinism contract.
+ * both disarmed and with telemetry armed — the runner's core
+ * determinism contract.
+ *
+ * After the timed reps, one telemetry-armed run per thread count
+ * writes RUNNER_sweep_parallel_t<n>.json next to the BENCH json
+ * and the scaling diagnosis (per-worker utilization, load
+ * imbalance, Amdahl serial-fraction fit) prints inline; feed the
+ * same files to tools/run_report for the standalone report.  With
+ * UATM_TRACE set, the runner additionally emits one Chrome-trace
+ * track per worker.
  *
  *   bench_sweep_parallel [--filter=<substr>] [--list] [--reps=<n>]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.hh"
+#include "exp/report.hh"
 #include "exp/scenarios.hh"
 #include "obs/bench.hh"
 
@@ -42,11 +54,72 @@ benchSweep()
 }
 
 std::string
-sweepCsv(unsigned threads)
+sweepCsv(unsigned threads, bool telemetry = false)
 {
-    exp::Runner runner(exp::RunnerOptions{threads});
+    exp::RunnerOptions options;
+    options.threads = threads;
+    options.telemetry = telemetry;
+    exp::Runner runner(options);
     return exp::runGeometrySweep(benchSweep(), runner)
         .renderCsv();
+}
+
+/** $UATM_BENCH_OUT (default bench_out/), created if missing. */
+std::filesystem::path
+benchOutDir()
+{
+    const char *env = std::getenv("UATM_BENCH_OUT");
+    const std::filesystem::path dir =
+        std::filesystem::path(env && *env ? env : "bench_out")
+            .lexically_normal();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        fatal("cannot create benchmark output directory '",
+              dir.string(), "': ", ec.message());
+    }
+    return dir;
+}
+
+/**
+ * One telemetry-armed run per thread count: write the
+ * RUNNER_*.json artifacts, print each diagnosis, and return the
+ * (threads, wall ns) samples for the Amdahl fit.
+ */
+std::vector<std::pair<unsigned, double>>
+runTelemetrySweeps(const unsigned (&threadCounts)[4])
+{
+    const std::filesystem::path dir = benchOutDir();
+    std::vector<std::pair<unsigned, double>> samples;
+    for (unsigned threads : threadCounts) {
+        exp::RunnerOptions options;
+        options.threads = threads;
+        options.telemetry = true;
+        exp::Runner runner(options);
+        const auto table =
+            exp::runGeometrySweep(benchSweep(), runner);
+        obs::doNotOptimize(table.rows());
+        const exp::RunnerTelemetry &telemetry =
+            runner.lastTelemetry();
+
+        const std::filesystem::path path =
+            (dir / ("RUNNER_sweep_parallel_t" +
+                    std::to_string(threads) + ".json"))
+                .lexically_normal();
+        okOrFatal(telemetry.writeJson(path.string()));
+        std::printf("[runner-json] wrote %s\n",
+                    path.string().c_str());
+
+        std::fputs(
+            exp::formatDiagnosis(exp::diagnoseRun(telemetry, 3))
+                .c_str(),
+            stdout);
+        if (telemetry.wallNs > 0)
+            samples.emplace_back(
+                telemetry.threadsUsed,
+                static_cast<double>(telemetry.wallNs));
+    }
+    return samples;
 }
 
 } // namespace
@@ -63,7 +136,9 @@ run(int argc, char **argv)
     if (!args.listOnly) {
         // Determinism gate first: a timing table for a runner
         // that merges differently per thread count would be
-        // meaningless.
+        // meaningless.  Telemetry-armed runs are held to the
+        // same contract — instrumentation must not perturb the
+        // merge.
         const std::string serial = sweepCsv(1);
         for (unsigned threads : threadCounts) {
             if (sweepCsv(threads) != serial) {
@@ -73,9 +148,18 @@ run(int argc, char **argv)
                              threads);
                 return EXIT_FAILURE;
             }
+            if (sweepCsv(threads, true) != serial) {
+                std::fprintf(stderr,
+                             "FAIL: telemetry-armed sweep output "
+                             "at %u threads differs from the "
+                             "serial run\n",
+                             threads);
+                return EXIT_FAILURE;
+            }
         }
         std::printf("sweep output byte-identical at 1/2/4/8 "
-                    "threads; timing the pool...\n");
+                    "threads (disarmed and telemetry-armed); "
+                    "timing the pool...\n");
     }
 
     obs::BenchSuite suite("sweep_parallel");
@@ -89,6 +173,8 @@ run(int argc, char **argv)
             const auto table =
                 exp::runGeometrySweep(spec, runner);
             obs::doNotOptimize(table.rows());
+            state.setThreads(threads,
+                             runner.lastStats().threadsUsed);
         });
     }
 
@@ -110,6 +196,14 @@ run(int argc, char **argv)
             std::printf("  %-24s %6.2fx\n", result.name.c_str(),
                         serial / result.nsPerRepMedian);
         }
+
+        std::printf("\nscaling diagnosis (one telemetry-armed "
+                    "run per thread count):\n");
+        const auto samples = runTelemetrySweeps(threadCounts);
+        std::fputs(
+            exp::formatAmdahlFit(exp::fitAmdahl(samples), samples)
+                .c_str(),
+            stdout);
     }
     return 0;
 }

@@ -13,6 +13,7 @@
 #include "cpu/stall_feature.hh"
 #include "obs/profile.hh"
 #include "obs/registry.hh"
+#include "obs/trace_event.hh"
 #include "util/logging.hh"
 
 namespace uatm::bench {
@@ -136,6 +137,10 @@ recordStats(const TimingStats &stats, Cycles mu_m)
     stats.registerStats(registry, "engine", mu_m);
     obs::ProfileRegistry::instance().registerStats(registry,
                                                    "profile");
+    // Tracer health rides along in every stat dump so a trace
+    // truncated by ring wraparound is visible without opening the
+    // trace file itself.
+    obs::globalTracer().registerStats(registry, "tracer");
     manifest().setStats(registry);
 }
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Implementation of the runner scaling diagnosis.
+ */
+
+#include "exp/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace uatm::exp {
+
+RunDiagnosis
+diagnoseRun(const RunnerTelemetry &telemetry, std::size_t topK)
+{
+    RunDiagnosis d;
+    d.threadsUsed = telemetry.threadsUsed;
+    d.pointCount = telemetry.pointCount;
+    d.wallNs = telemetry.wallNs;
+    d.loadImbalance = telemetry.loadImbalance();
+    d.parallelEfficiency = telemetry.parallelEfficiency();
+
+    d.workerUtilization.reserve(telemetry.workers.size());
+    for (const auto &worker : telemetry.workers)
+        d.workerUtilization.push_back(worker.utilization());
+
+    d.slowestPoints = telemetry.points;
+    std::stable_sort(d.slowestPoints.begin(),
+                     d.slowestPoints.end(),
+                     [](const PointTiming &a,
+                        const PointTiming &b) {
+                         return a.durationNs > b.durationNs;
+                     });
+    if (d.slowestPoints.size() > topK)
+        d.slowestPoints.resize(topK);
+    return d;
+}
+
+double
+AmdahlFit::speedupAt(double n) const
+{
+    if (!ok || n <= 0.0)
+        return 0.0;
+    const double denom =
+        serialFraction + (1.0 - serialFraction) / n;
+    return denom > 0.0 ? 1.0 / denom : 0.0;
+}
+
+AmdahlFit
+fitAmdahl(
+    const std::vector<std::pair<unsigned, double>> &samples)
+{
+    // Average duplicate thread counts so a rerun at the same n
+    // does not get double weight in the regression.
+    std::map<unsigned, std::pair<double, int>> byThreads;
+    for (const auto &[threads, wallNs] : samples) {
+        if (!(wallNs > 0.0))
+            continue;
+        const unsigned n = threads == 0 ? 1 : threads;
+        auto &[sum, count] = byThreads[n];
+        sum += wallNs;
+        ++count;
+    }
+
+    AmdahlFit fit;
+    if (byThreads.size() < 2)
+        return fit;
+
+    // T(n) = a + b * (1/n): ordinary least squares on x = 1/n.
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const double m = static_cast<double>(byThreads.size());
+    for (const auto &[n, acc] : byThreads) {
+        const double x = 1.0 / static_cast<double>(n);
+        const double y = acc.first / acc.second;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const double denom = m * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12)
+        return fit;
+    const double b = (m * sxy - sx * sy) / denom;
+    const double a = (sy - b * sx) / m;
+
+    const double t1 = a + b;
+    if (!(t1 > 0.0))
+        return fit;
+    fit.ok = true;
+    fit.t1Ns = t1;
+    fit.serialFraction = std::clamp(a / t1, 0.0, 1.0);
+    return fit;
+}
+
+namespace {
+
+std::string
+formatNs(double ns)
+{
+    std::ostringstream out;
+    out << std::fixed;
+    if (ns >= 1e9)
+        out << std::setprecision(3) << ns / 1e9 << " s";
+    else if (ns >= 1e6)
+        out << std::setprecision(3) << ns / 1e6 << " ms";
+    else if (ns >= 1e3)
+        out << std::setprecision(3) << ns / 1e3 << " us";
+    else
+        out << std::setprecision(0) << ns << " ns";
+    return out.str();
+}
+
+std::string
+percent(double fraction)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(1)
+        << fraction * 100.0 << "%";
+    return out.str();
+}
+
+} // namespace
+
+std::string
+formatDiagnosis(const RunDiagnosis &diagnosis)
+{
+    std::ostringstream out;
+    const unsigned lanes =
+        diagnosis.threadsUsed == 0 ? 1 : diagnosis.threadsUsed;
+    out << "run: " << diagnosis.pointCount << " points on "
+        << lanes
+        << (diagnosis.threadsUsed == 0
+                ? " thread (inline)"
+                : (lanes == 1 ? " worker" : " workers"))
+        << ", wall "
+        << formatNs(static_cast<double>(diagnosis.wallNs)) << "\n";
+    out << "  parallel efficiency "
+        << percent(diagnosis.parallelEfficiency)
+        << ", load imbalance " << std::fixed
+        << std::setprecision(2) << diagnosis.loadImbalance
+        << "x (1.00x = balanced)\n";
+
+    for (std::size_t i = 0;
+         i < diagnosis.workerUtilization.size(); ++i) {
+        const double u = diagnosis.workerUtilization[i];
+        const int cells = static_cast<int>(u * 40.0 + 0.5);
+        out << "  worker " << std::setw(2) << i << "  ["
+            << std::string(static_cast<std::size_t>(
+                               std::clamp(cells, 0, 40)),
+                           '#')
+            << std::string(static_cast<std::size_t>(
+                               40 - std::clamp(cells, 0, 40)),
+                           '.')
+            << "] " << percent(u) << " busy\n";
+    }
+
+    if (!diagnosis.slowestPoints.empty()) {
+        out << "  slowest points:\n";
+        for (const auto &point : diagnosis.slowestPoints) {
+            out << "    #" << point.index << "  "
+                << formatNs(
+                       static_cast<double>(point.durationNs))
+                << "  (worker " << point.worker << ")";
+            if (!point.label.empty())
+                out << "  " << point.label;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+formatAmdahlFit(
+    const AmdahlFit &fit,
+    const std::vector<std::pair<unsigned, double>> &samples)
+{
+    std::ostringstream out;
+    if (!fit.ok) {
+        out << "amdahl fit: unavailable (need wall times from "
+               ">= 2 distinct thread counts)\n";
+        return out.str();
+    }
+    out << "amdahl fit: serial fraction "
+        << percent(fit.serialFraction) << ", T1 "
+        << formatNs(fit.t1Ns) << "\n";
+    std::map<unsigned, bool> seen;
+    for (const auto &[threads, wallNs] : samples) {
+        const unsigned n = threads == 0 ? 1 : threads;
+        if (seen[n])
+            continue;
+        seen[n] = true;
+        out << "  n=" << n << ": predicted speedup "
+            << std::fixed << std::setprecision(2)
+            << fit.speedupAt(static_cast<double>(n)) << "x\n";
+    }
+    const double limit = fit.serialFraction > 0.0
+                             ? 1.0 / fit.serialFraction
+                             : 0.0;
+    if (limit > 0.0)
+        out << "  asymptotic speedup limit " << std::fixed
+            << std::setprecision(2) << limit << "x\n";
+    else
+        out << "  asymptotic speedup limit: unbounded "
+               "(no measurable serial fraction)\n";
+    return out.str();
+}
+
+} // namespace uatm::exp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scaling diagnosis over runner telemetry.
+ *
+ * Turns one RunnerTelemetry into the numbers that answer "why
+ * doesn't this sweep scale" — per-worker utilization, the
+ * load-imbalance index, parallel efficiency, and the top-K slowest
+ * points — and fits Amdahl's law across runs at different thread
+ * counts to estimate the serial fraction.  Shared by
+ * tools/run_report and bench/bench_sweep_parallel so the CLI and
+ * the benchmark print the same diagnosis.
+ */
+
+#ifndef UATM_EXP_REPORT_HH
+#define UATM_EXP_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/telemetry.hh"
+
+namespace uatm::exp {
+
+/** The derived per-run diagnosis (see diagnoseRun). */
+struct RunDiagnosis
+{
+    unsigned threadsUsed = 0;        ///< 0 = inline serial run
+    std::uint64_t pointCount = 0;
+    std::uint64_t wallNs = 0;
+    double loadImbalance = 0.0;      ///< max/mean worker kernel ns
+    double parallelEfficiency = 0.0; ///< kernel / wall capacity
+
+    /** utilization per worker, indexed by worker id. */
+    std::vector<double> workerUtilization;
+
+    /** The K longest points, slowest first. */
+    std::vector<PointTiming> slowestPoints;
+};
+
+/** Analyse one telemetry record; @p topK bounds slowestPoints. */
+RunDiagnosis diagnoseRun(const RunnerTelemetry &telemetry,
+                         std::size_t topK = 5);
+
+/** Result of fitting T(n) = T1 * (s + (1-s)/n). */
+struct AmdahlFit
+{
+    bool ok = false;          ///< needs >= 2 distinct thread counts
+    double serialFraction = 0.0;  ///< s, clamped to [0, 1]
+    double t1Ns = 0.0;            ///< fitted single-thread time
+
+    /** Predicted speedup at @p n threads under the fit. */
+    double speedupAt(double n) const;
+};
+
+/**
+ * Least-squares fit of Amdahl's law to (threads, wall ns) samples:
+ * T(n) = a + b/n with s = a/(a+b), T1 = a+b.  Thread count 0
+ * (inline run) is treated as 1.  Samples with duplicate thread
+ * counts are averaged first.
+ */
+AmdahlFit
+fitAmdahl(const std::vector<std::pair<unsigned, double>> &samples);
+
+/** Human-readable multi-line rendering of one diagnosis. */
+std::string formatDiagnosis(const RunDiagnosis &diagnosis);
+
+/** Human-readable rendering of an Amdahl fit (or its failure). */
+std::string formatAmdahlFit(
+    const AmdahlFit &fit,
+    const std::vector<std::pair<unsigned, double>> &samples);
+
+} // namespace uatm::exp
+
+#endif // UATM_EXP_REPORT_HH

@@ -5,11 +5,14 @@
 
 #include "exp/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -41,6 +44,85 @@ RunnerStats::registerStats(obs::StatRegistry &registry,
                        "summed per-point kernel time", "s");
 }
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nsBetween(Clock::time_point from, Clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            to - from)
+            .count());
+}
+
+bool
+envTelemetryArmed()
+{
+    const char *env = std::getenv("UATM_RUNNER_TELEMETRY");
+    return env && *env && std::string_view(env) != "0";
+}
+
+/**
+ * Replay the merged telemetry into the (single-threaded) tracer
+ * as one track per worker: point spans named by their coordinate
+ * label, idle gaps between them, all timestamps in microseconds
+ * relative to the pool start.
+ */
+void
+emitWorkerSpans(obs::EventTracer &tracer,
+                const RunnerTelemetry &telemetry,
+                const std::vector<std::uint64_t> &workerStartNs)
+{
+    const char *idleName = tracer.intern("idle");
+    const char *startName = tracer.intern("worker start");
+    for (const auto &worker : telemetry.workers) {
+        const char *track = tracer.intern(
+            "runner worker " + std::to_string(worker.worker));
+        std::uint64_t cursorNs =
+            worker.worker < workerStartNs.size()
+                ? workerStartNs[worker.worker]
+                : 0;
+        // Instant marker so every worker gets a named track even
+        // when it never won a point (short grids, few cores).
+        tracer.record(startName, track, cursorNs / 1000, 0,
+                      worker.worker);
+        for (const auto &point : telemetry.points) {
+            if (point.worker != worker.worker)
+                continue;
+            if (point.startNs > cursorNs) {
+                const std::uint64_t gapUs =
+                    (point.startNs - cursorNs) / 1000;
+                if (gapUs > 0)
+                    tracer.record(idleName, track,
+                                  cursorNs / 1000, gapUs);
+            }
+            tracer.record(tracer.intern(point.label), track,
+                          point.startNs / 1000,
+                          std::max<std::uint64_t>(
+                              point.durationNs / 1000, 1),
+                          point.index);
+            cursorNs = std::max(cursorNs,
+                                point.startNs + point.durationNs);
+        }
+        const std::uint64_t workerEndNs =
+            (worker.worker < workerStartNs.size()
+                 ? workerStartNs[worker.worker]
+                 : 0) +
+            worker.lifetimeNs;
+        if (workerEndNs > cursorNs) {
+            const std::uint64_t gapUs =
+                (workerEndNs - cursorNs) / 1000;
+            if (gapUs > 0)
+                tracer.record(idleName, track, cursorNs / 1000,
+                              gapUs);
+        }
+    }
+}
+
+} // namespace
+
 Runner::Runner(RunnerOptions options) : options_(options) {}
 
 unsigned
@@ -52,10 +134,6 @@ Runner::effectiveThreads(std::size_t points) const
         if (threads == 0)
             threads = 1;
     }
-    // The global event tracer's ring buffer is not synchronised;
-    // a traced run must stay serial to keep the trace coherent.
-    if (obs::globalTracer().enabled())
-        threads = 1;
     if (points < threads)
         threads = points ? static_cast<unsigned>(points) : 1;
     return threads;
@@ -68,7 +146,10 @@ Runner::run(const Scenario &scenario,
 {
     UATM_ASSERT(kernel != nullptr, "runner needs a kernel");
 
+    const auto expandStart = Clock::now();
     std::vector<Point> points = scenario.expand();
+    const std::uint64_t expandNs =
+        nsBetween(expandStart, Clock::now());
 
     std::vector<std::string> columns = scenario.axisNames();
     columns.insert(columns.end(), value_columns.begin(),
@@ -80,11 +161,12 @@ Runner::run(const Scenario &scenario,
                          : std::thread::hardware_concurrency();
     if (requested == 0)
         requested = 1;
-    // A tracer-forced-serial run only ever asked for one thread;
-    // reporting hardware_concurrency() here would misstate the run.
-    if (obs::globalTracer().enabled())
-        requested = 1;
-    unsigned threads = effectiveThreads(points.size());
+    const unsigned threads = effectiveThreads(points.size());
+
+    obs::EventTracer &tracer = obs::globalTracer();
+    const bool traceArmed = tracer.enabled();
+    const bool telemetryArmed = options_.telemetry || traceArmed ||
+                                envTelemetryArmed();
 
     std::vector<std::vector<Cell>> slots(points.size());
     // One failure slot per point keeps the merge deterministic:
@@ -96,15 +178,41 @@ Runner::run(const Scenario &scenario,
     std::mutex errorMutex;
 
     const bool failFast = options_.failFast;
+    const unsigned lanes = std::max(threads, 1u);
 
-    auto worker = [&]() {
+    // Telemetry lands in per-lane slots sized before the pool
+    // spawns: workers write only their own lane, so recording is
+    // lock-free and needs no synchronisation beyond the join.
+    std::vector<WorkerTelemetry> laneTelemetry(
+        telemetryArmed ? lanes : 0);
+    std::vector<std::vector<PointTiming>> lanePoints(
+        telemetryArmed ? lanes : 0);
+    std::vector<std::uint64_t> laneStartNs(
+        telemetryArmed ? lanes : 0, 0);
+
+    const auto wallStart = Clock::now();
+
+    auto worker = [&](unsigned lane) {
         double localSeconds = 0.0;
+        WorkerTelemetry tel;
+        tel.worker = lane;
+        std::vector<PointTiming> localPoints;
+        const auto lifeStart = Clock::now();
+        if (telemetryArmed) {
+            laneStartNs[lane] = nsBetween(wallStart, lifeStart);
+            localPoints.reserve(points.size() / lanes + 1);
+        }
         while (true) {
+            Clock::time_point acquireStart;
+            if (telemetryArmed)
+                acquireStart = Clock::now();
             std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 break;
-            auto start = std::chrono::steady_clock::now();
+            auto start = Clock::now();
+            if (telemetryArmed)
+                tel.acquireNs += nsBetween(acquireStart, start);
             bool failed = false;
             std::exception_ptr thrown;
             try {
@@ -146,10 +254,22 @@ Runner::run(const Scenario &scenario,
                            std::memory_order_relaxed);
                 break;
             }
+            auto end = Clock::now();
             localSeconds +=
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
+                std::chrono::duration<double>(end - start)
                     .count();
+            if (telemetryArmed) {
+                const std::uint64_t durationNs =
+                    nsBetween(start, end);
+                tel.kernelNs += durationNs;
+                ++tel.points;
+                PointTiming timing;
+                timing.index = i;
+                timing.worker = lane;
+                timing.startNs = nsBetween(wallStart, start);
+                timing.durationNs = durationNs;
+                localPoints.push_back(std::move(timing));
+            }
         }
         double expected =
             kernelSeconds.load(std::memory_order_relaxed);
@@ -157,25 +277,40 @@ Runner::run(const Scenario &scenario,
             expected, expected + localSeconds,
             std::memory_order_relaxed))
             ;
+        if (telemetryArmed) {
+            tel.lifetimeNs = nsBetween(lifeStart, Clock::now());
+            const std::uint64_t busy = tel.kernelNs + tel.acquireNs;
+            tel.idleNs =
+                tel.lifetimeNs > busy ? tel.lifetimeNs - busy : 0;
+            laneTelemetry[lane] = tel;
+            lanePoints[lane] = std::move(localPoints);
+        }
     };
 
-    auto wallStart = std::chrono::steady_clock::now();
     unsigned spawned = 0;
     if (threads <= 1) {
-        worker();
+        worker(0);
     } else {
+        // The tracer's ring is not synchronised.  Suspend it while
+        // the pool is alive (kernel-internal record() calls become
+        // inline no-ops) and replay the per-worker telemetry as
+        // spans from this thread after the join.
+        if (traceArmed)
+            tracer.setEnabled(false);
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (auto &thread : pool)
             thread.join();
+        if (traceArmed)
+            tracer.setEnabled(true);
         spawned = threads;
     }
-    double wallSeconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - wallStart)
-            .count();
+    const std::uint64_t wallNs =
+        nsBetween(wallStart, Clock::now());
+    const double wallSeconds =
+        static_cast<double>(wallNs) / 1e9;
 
     failures_.clear();
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -195,6 +330,38 @@ Runner::run(const Scenario &scenario,
     stats_.pointSecondsTotal =
         kernelSeconds.load(std::memory_order_relaxed);
 
+    telemetry_ = RunnerTelemetry{};
+    telemetry_.armed = telemetryArmed;
+    if (telemetryArmed) {
+        telemetry_.scenario = scenario.name();
+        telemetry_.threadsRequested = requested;
+        telemetry_.threadsUsed = spawned;
+        telemetry_.pointCount = points.size();
+        telemetry_.pointsFailed = failures_.size();
+        telemetry_.wallNs = wallNs;
+        telemetry_.expandNs = expandNs;
+        telemetry_.workers = laneTelemetry;
+        std::size_t total = 0;
+        for (const auto &lane : lanePoints)
+            total += lane.size();
+        telemetry_.points.reserve(total);
+        for (auto &lane : lanePoints)
+            for (auto &timing : lane)
+                telemetry_.points.push_back(std::move(timing));
+        std::sort(telemetry_.points.begin(),
+                  telemetry_.points.end(),
+                  [](const PointTiming &a, const PointTiming &b) {
+                      return a.index < b.index;
+                  });
+        for (auto &timing : telemetry_.points) {
+            timing.label = points[timing.index].label();
+            telemetry_.pointLatency.add(
+                static_cast<double>(timing.durationNs));
+        }
+        if (traceArmed)
+            emitWorkerSpans(tracer, telemetry_, laneStartNs);
+    }
+
     // Log after the join, from one thread, so warn() lines do not
     // interleave.
     for (const auto &failure : failures_) {
@@ -205,6 +372,7 @@ Runner::run(const Scenario &scenario,
     if (failFast && firstError)
         std::rethrow_exception(firstError);
 
+    const auto mergeStart = Clock::now();
     for (std::size_t i = 0; i < points.size(); ++i) {
         std::vector<Cell> row;
         row.reserve(columns.size());
@@ -223,6 +391,8 @@ Runner::run(const Scenario &scenario,
         }
         table.addRow(std::move(row));
     }
+    if (telemetryArmed)
+        telemetry_.mergeNs = nsBetween(mergeStart, Clock::now());
 
     return table;
 }

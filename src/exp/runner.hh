@@ -20,8 +20,18 @@
  *
  * Point kernels must be self-contained: no shared mutable state
  * beyond what the Point carries.  The process-wide event tracer
- * (UATM_TRACE) is not thread-safe, so the runner drops to one
- * thread while it is armed rather than corrupt the trace.
+ * (UATM_TRACE) is not thread-safe; a multi-threaded run suspends
+ * it while the pool is alive and, after the join, emits one span
+ * per point onto a per-worker track from the calling thread — so
+ * UATM_TRACE on a parallel sweep yields a per-worker timeline
+ * instead of corrupting the ring.  Serial (inline) runs leave the
+ * tracer live, preserving the deep engine-internal traces.
+ *
+ * With RunnerOptions::telemetry armed (automatic when the tracer
+ * is enabled, or via UATM_RUNNER_TELEMETRY=1) each worker also
+ * records what it did — points, kernel/acquire/idle time, one
+ * timing per point — lock-free into per-worker slots, merged into
+ * lastTelemetry() at join.  Disarmed runs skip all of it.
  */
 
 #ifndef UATM_EXP_RUNNER_HH
@@ -34,6 +44,7 @@
 
 #include "exp/result_table.hh"
 #include "exp/scenario.hh"
+#include "exp/telemetry.hh"
 #include "util/status.hh"
 
 namespace uatm::obs {
@@ -54,6 +65,14 @@ struct RunnerOptions
      * Status is rethrown as StatusError.
      */
     bool failFast = false;
+
+    /**
+     * Record per-worker telemetry (see lastTelemetry()).  Armed
+     * automatically when the global event tracer is enabled or
+     * UATM_RUNNER_TELEMETRY is set to anything but "0"; costs two
+     * extra clock reads per point plus one timing record.
+     */
+    bool telemetry = false;
 };
 
 /** One failed point of the most recent run. */
@@ -117,6 +136,15 @@ class Runner
         return failures_;
     }
 
+    /**
+     * Telemetry from the most recent run().  armed == false (and
+     * everything else empty) when the run executed disarmed.
+     */
+    const RunnerTelemetry &lastTelemetry() const
+    {
+        return telemetry_;
+    }
+
     /** Threads run() would actually use right now. */
     unsigned effectiveThreads(std::size_t points) const;
 
@@ -124,6 +152,7 @@ class Runner
     RunnerOptions options_;
     RunnerStats stats_;
     std::vector<PointFailure> failures_;
+    RunnerTelemetry telemetry_;
 };
 
 } // namespace uatm::exp

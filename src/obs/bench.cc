@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "obs/manifest.hh"
 #include "util/logging.hh"
@@ -145,6 +146,9 @@ BenchSuite::runOne(const std::string &name, const BenchFn &fn,
     result.nsPerRepMedian = median(ns);
     result.nsPerRepMad =
         medianAbsDeviation(ns, result.nsPerRepMedian);
+    result.hasThreads = state.threadsSet();
+    result.threadsRequested = state.threadsRequested();
+    result.threadsUsed = state.threadsUsed();
 
     if (state.statsProvider()) {
         StatRegistry registry;
@@ -244,6 +248,8 @@ BenchSuite::toJson() const
     w.keyValue("schema_version", kBenchSchemaVersion);
     w.keyValue("suite", name_);
     w.keyValue("git_describe", Manifest::gitDescribe());
+    w.keyValue("host_cores",
+               std::thread::hardware_concurrency());
     w.key("benchmarks").beginArray();
     for (const auto &result : results_) {
         w.beginObject();
@@ -251,6 +257,11 @@ BenchSuite::toJson() const
         w.keyValue("reps", result.reps);
         w.keyValue("warmup_reps", result.warmupReps);
         w.keyValue("items_per_rep", result.itemsPerRep);
+        if (result.hasThreads) {
+            w.keyValue("threads_requested",
+                       result.threadsRequested);
+            w.keyValue("threads_used", result.threadsUsed);
+        }
         w.key("ns_per_rep").beginObject()
             .keyValue("min", result.nsPerRepMin)
             .keyValue("median", result.nsPerRepMedian)
@@ -479,6 +490,52 @@ loadBenchFile(const std::string &path, JsonValue &out,
         return false;
     }
     out = std::move(parsed.value);
+    return true;
+}
+
+bool
+perfComparable(const JsonValue &before, const JsonValue &after,
+               std::string &error)
+{
+    // Only refuse on fields both sides actually recorded; older
+    // records without the metadata stay comparable (best effort).
+    const double coresBefore = before.numberOr("host_cores", 0.0);
+    const double coresAfter = after.numberOr("host_cores", 0.0);
+    if (coresBefore > 0.0 && coresAfter > 0.0 &&
+        coresBefore != coresAfter) {
+        std::ostringstream os;
+        os << "host_cores differ: before=" << coresBefore
+           << " after=" << coresAfter;
+        error = os.str();
+        return false;
+    }
+
+    const JsonValue *before_list = before.find("benchmarks");
+    if (!before_list || !before_list->isArray())
+        return true;
+    for (const JsonValue &record : before_list->items()) {
+        if (!record.isObject())
+            continue;
+        const std::string name = record.stringOr("name", "?");
+        const JsonValue *peer = findBenchmark(after, name);
+        if (!peer)
+            continue;
+        for (const char *field :
+             {"threads_requested", "threads_used"}) {
+            const JsonValue *b = record.find(field);
+            const JsonValue *a = peer->find(field);
+            if (!b || !a || !b->isNumber() || !a->isNumber())
+                continue;
+            if (b->asNumber() != a->asNumber()) {
+                std::ostringstream os;
+                os << "benchmark '" << name << "' " << field
+                   << " differ: before=" << b->asNumber()
+                   << " after=" << a->asNumber();
+                error = os.str();
+                return false;
+            }
+        }
+    }
     return true;
 }
 

@@ -96,7 +96,25 @@ class BenchState
         statsProvider_ = std::move(provider);
     }
 
+    /**
+     * Declare the thread configuration this benchmark ran with
+     * (e.g. from RunnerStats).  Recorded per benchmark in the
+     * JSON so tools/perf_diff can refuse to compare runs whose
+     * thread configs differ; @p used keeps the runner convention
+     * of 0 meaning inline on the calling thread.
+     */
+    void
+    setThreads(unsigned requested, unsigned used)
+    {
+        threadsRequested_ = requested;
+        threadsUsed_ = used;
+        threadsSet_ = true;
+    }
+
     std::uint64_t items() const { return items_; }
+    bool threadsSet() const { return threadsSet_; }
+    unsigned threadsRequested() const { return threadsRequested_; }
+    unsigned threadsUsed() const { return threadsUsed_; }
     const std::function<void(StatRegistry &)> &
     statsProvider() const
     {
@@ -105,6 +123,9 @@ class BenchState
 
   private:
     std::uint64_t items_ = 0;
+    unsigned threadsRequested_ = 0;
+    unsigned threadsUsed_ = 0;
+    bool threadsSet_ = false;
     std::function<void(StatRegistry &)> statsProvider_;
 };
 
@@ -121,6 +142,11 @@ struct BenchResult
     double nsPerRepMin = 0.0;
     double nsPerRepMedian = 0.0;
     double nsPerRepMad = 0.0;  ///< raw MAD around the median
+
+    /** Thread config declared via BenchState::setThreads(). */
+    bool hasThreads = false;
+    unsigned threadsRequested = 0;
+    unsigned threadsUsed = 0;
 
     /** (stat name, after - before) over the timed reps. */
     std::vector<std::pair<std::string, double>> statDelta;
@@ -272,6 +298,17 @@ std::string formatPerfTable(const std::vector<PerfDelta> &deltas);
  */
 bool loadBenchFile(const std::string &path, JsonValue &out,
                    std::string &error);
+
+/**
+ * True when two BENCH_*.json documents were measured on
+ * comparable configurations: same host core count (when both
+ * recorded one) and, for every benchmark present in both, the
+ * same threads_requested/threads_used.  On mismatch @p error
+ * explains which field differs; perf_diff refuses to gate on
+ * incomparable runs (--ignore-threads overrides).
+ */
+bool perfComparable(const JsonValue &before,
+                    const JsonValue &after, std::string &error);
 
 } // namespace uatm::obs
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "obs/json.hh"
@@ -24,8 +25,279 @@ statKindName(StatKind kind)
         return "formula";
       case StatKind::Distribution:
         return "distribution";
+      case StatKind::Histogram:
+        return "histogram";
     }
     panic("unknown StatKind");
+}
+
+// ------------------------------------------------ LatencyHistogram
+
+namespace {
+
+/** CAS-loop add for pre-C++20-style atomic<double> accumulation. */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(
+        expected, expected + delta, std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMin(std::atomic<double> &target, double x)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (x < expected &&
+           !target.compare_exchange_weak(
+               expected, x, std::memory_order_relaxed))
+        ;
+}
+
+void
+atomicMax(std::atomic<double> &target, double x)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (x > expected &&
+           !target.compare_exchange_weak(
+               expected, x, std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram(double first_upper,
+                                   double growth,
+                                   std::size_t buckets)
+    : first_(first_upper), growth_(growth),
+      counts_(std::max<std::size_t>(buckets, 2))
+{
+    UATM_ASSERT(first_upper > 0.0,
+                "histogram needs a positive first bucket edge");
+    UATM_ASSERT(growth > 1.0,
+                "histogram growth factor must exceed 1");
+}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram &other)
+{
+    copyFrom(other);
+}
+
+LatencyHistogram &
+LatencyHistogram::operator=(const LatencyHistogram &other)
+{
+    if (this != &other)
+        copyFrom(other);
+    return *this;
+}
+
+LatencyHistogram::LatencyHistogram(
+    LatencyHistogram &&other) noexcept
+{
+    copyFrom(other);
+}
+
+LatencyHistogram &
+LatencyHistogram::operator=(LatencyHistogram &&other) noexcept
+{
+    if (this != &other)
+        copyFrom(other);
+    return *this;
+}
+
+void
+LatencyHistogram::copyFrom(const LatencyHistogram &other)
+{
+    first_ = other.first_;
+    growth_ = other.growth_;
+    std::vector<std::atomic<std::uint64_t>> counts(
+        other.counts_.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i].store(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    counts_ = std::move(counts);
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(double x) const
+{
+    if (!(x > first_))
+        return 0;
+    // log-derived guess, then fix up the float rounding so edge
+    // values land in their inclusive-upper bucket exactly.
+    std::size_t i = static_cast<std::size_t>(std::max(
+        1.0, 1.0 + std::floor(std::log(x / first_) /
+                              std::log(growth_))));
+    i = std::min(i, counts_.size() - 1);
+    while (i > 0 && x <= upperEdge(i - 1))
+        --i;
+    while (i + 1 < counts_.size() && x > upperEdge(i))
+        ++i;
+    return i;
+}
+
+void
+LatencyHistogram::add(double x)
+{
+    if (std::isnan(x))
+        return;
+    x = std::max(x, 0.0);
+    counts_[bucketIndex(x)].fetch_add(1,
+                                      std::memory_order_relaxed);
+    // First-sample races on min/max resolve via the CAS loops: a
+    // competing thread either sees count_ == 0 and stores, or
+    // folds in over the other thread's value.
+    if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+        double expected = 0.0;
+        min_.compare_exchange_strong(expected, x,
+                                     std::memory_order_relaxed);
+        expected = 0.0;
+        max_.compare_exchange_strong(expected, x,
+                                     std::memory_order_relaxed);
+    }
+    atomicMin(min_, x);
+    atomicMax(max_, x);
+    atomicAdd(sum_, x);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    UATM_ASSERT(sameShape(other),
+                "cannot merge histograms with different bucket "
+                "shapes");
+    if (other.count() == 0)
+        return;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t n =
+            other.counts_[i].load(std::memory_order_relaxed);
+        if (n)
+            counts_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    if (count_.fetch_add(other.count(),
+                         std::memory_order_relaxed) == 0) {
+        double expected = 0.0;
+        min_.compare_exchange_strong(expected, other.min(),
+                                     std::memory_order_relaxed);
+        expected = 0.0;
+        max_.compare_exchange_strong(expected, other.max(),
+                                     std::memory_order_relaxed);
+    }
+    atomicMin(min_, other.min());
+    atomicMax(max_, other.max());
+    atomicAdd(sum_, other.sum());
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &bucket : counts_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::min() const
+{
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+LatencyHistogram::max() const
+{
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double
+LatencyHistogram::upperEdge(std::size_t i) const
+{
+    UATM_ASSERT(i < counts_.size(), "histogram bucket ", i,
+                " out of range");
+    if (i + 1 == counts_.size())
+        return std::numeric_limits<double>::infinity();
+    return first_ * std::pow(growth_, static_cast<double>(i));
+}
+
+std::uint64_t
+LatencyHistogram::bucketCount(std::size_t i) const
+{
+    UATM_ASSERT(i < counts_.size(), "histogram bucket ", i,
+                " out of range");
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min();
+    if (q >= 1.0)
+        return max();
+
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t here = bucketCount(i);
+        if (here == 0)
+            continue;
+        if (static_cast<double>(cumulative + here) >= rank) {
+            const double lo = i == 0 ? 0.0 : upperEdge(i - 1);
+            // The +Inf overflow bucket interpolates toward the
+            // observed max instead of infinity.
+            const double hi = i + 1 == counts_.size()
+                                  ? max()
+                                  : upperEdge(i);
+            const double within =
+                (rank - static_cast<double>(cumulative)) /
+                static_cast<double>(here);
+            const double x = lo + within * (std::max(hi, lo) - lo);
+            return std::min(std::max(x, min()), max());
+        }
+        cumulative += here;
+    }
+    return max();
+}
+
+bool
+LatencyHistogram::sameShape(const LatencyHistogram &other) const
+{
+    return first_ == other.first_ && growth_ == other.growth_ &&
+           counts_.size() == other.counts_.size();
 }
 
 double
@@ -38,6 +310,8 @@ StatEntry::valueNow() const
         return formula ? formula() : 0.0;
       case StatKind::Distribution:
         return distribution.mean();
+      case StatKind::Histogram:
+        return histogram.mean();
     }
     panic("unknown StatKind");
 }
@@ -86,6 +360,18 @@ StatRegistry::addDistribution(const std::string &name,
 {
     emplace(name, description, unit,
             StatKind::Distribution).distribution = distribution;
+}
+
+LatencyHistogram &
+StatRegistry::addLatencyHistogram(const std::string &name,
+                                  const LatencyHistogram &histogram,
+                                  const std::string &description,
+                                  const std::string &unit)
+{
+    StatEntry &entry =
+        emplace(name, description, unit, StatKind::Histogram);
+    entry.histogram = histogram;
+    return entry.histogram;
 }
 
 bool
@@ -146,6 +432,12 @@ StatRegistry::formatText() const
             os << d.mean() << " (n=" << d.count()
                << ", sd=" << d.stddev() << ", min=" << d.min()
                << ", max=" << d.max() << ")";
+        } else if (entry.kind == StatKind::Histogram) {
+            const LatencyHistogram &h = entry.histogram;
+            os << h.mean() << " (n=" << h.count()
+               << ", p50=" << h.p50() << ", p95=" << h.p95()
+               << ", p99=" << h.p99() << ", max=" << h.max()
+               << ")";
         } else {
             os << JsonWriter::formatNumber(entry.valueNow());
         }
@@ -178,6 +470,32 @@ StatRegistry::toJson() const
             w.keyValue("stddev", d.stddev());
             w.keyValue("min", d.min());
             w.keyValue("max", d.max());
+        } else if (entry.kind == StatKind::Histogram) {
+            const LatencyHistogram &h = entry.histogram;
+            w.keyValue("count", h.count());
+            w.keyValue("sum", h.sum());
+            w.keyValue("mean", h.mean());
+            w.keyValue("min", h.min());
+            w.keyValue("max", h.max());
+            w.keyValue("p50", h.p50());
+            w.keyValue("p95", h.p95());
+            w.keyValue("p99", h.p99());
+            // Only occupied buckets: 64 mostly-empty rows per
+            // histogram would drown the dump.
+            w.key("buckets").beginArray();
+            for (std::size_t i = 0; i < h.buckets(); ++i) {
+                if (h.bucketCount(i) == 0)
+                    continue;
+                w.beginObject();
+                w.key("le");
+                if (std::isinf(h.upperEdge(i)))
+                    w.value("+Inf");
+                else
+                    w.value(h.upperEdge(i));
+                w.keyValue("count", h.bucketCount(i));
+                w.endObject();
+            }
+            w.endArray();
         } else {
             w.keyValue("value", entry.valueNow());
         }
@@ -303,13 +621,47 @@ StatRegistry::dumpPrometheus(
                                    promUnitSuffix(entry.unit);
         const bool summary =
             entry.kind == StatKind::Distribution;
+        const bool histogram =
+            entry.kind == StatKind::Histogram;
         os << "# HELP " << metric << ' '
            << promEscapeHelp(entry.description.empty()
                                  ? entry.name
                                  : entry.description)
            << '\n';
         os << "# TYPE " << metric << ' '
-           << (summary ? "summary" : "gauge") << '\n';
+           << (histogram ? "histogram"
+               : summary ? "summary"
+                         : "gauge")
+           << '\n';
+        if (histogram) {
+            // Conformant exposition: cumulative _bucket series
+            // over the occupied edges, always closed by le="+Inf"
+            // (== _count), then _sum and _count.
+            const LatencyHistogram &h = entry.histogram;
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i + 1 < h.buckets(); ++i) {
+                if (h.bucketCount(i) == 0)
+                    continue;
+                cumulative += h.bucketCount(i);
+                os << metric << "_bucket"
+                   << promLabelBlock(
+                          labels,
+                          {{"le", promNumber(h.upperEdge(i))}})
+                   << ' ' << promNumber(static_cast<double>(
+                              cumulative))
+                   << '\n';
+            }
+            os << metric << "_bucket"
+               << promLabelBlock(labels, {{"le", "+Inf"}}) << ' '
+               << promNumber(static_cast<double>(h.count()))
+               << '\n';
+            os << metric << "_sum" << base << ' '
+               << promNumber(h.sum()) << '\n';
+            os << metric << "_count" << base << ' '
+               << promNumber(static_cast<double>(h.count()))
+               << '\n';
+            continue;
+        }
         if (!summary) {
             os << metric << base << ' '
                << promNumber(entry.valueNow()) << '\n';

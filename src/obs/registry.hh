@@ -20,6 +20,7 @@
 #ifndef UATM_OBS_REGISTRY_HH
 #define UATM_OBS_REGISTRY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -38,9 +39,92 @@ enum class StatKind : std::uint8_t
     Scalar,
     Formula,
     Distribution,
+    Histogram,
 };
 
 const char *statKindName(StatKind kind);
+
+/**
+ * Log-bucketed latency histogram with lock-free concurrent adds.
+ *
+ * Bucket upper edges grow geometrically from @p first_upper by
+ * @p growth; bucket 0 covers [0, first], bucket i covers
+ * (edge(i-1), edge(i)], and the last bucket is the +Inf overflow.
+ * The defaults (1, x2, 64 buckets) span 1 ns to ~9.2e18 ns with
+ * <= 2x relative quantile error, which is what per-point runner
+ * latencies need.
+ *
+ * add() and merge() are safe from any number of threads (relaxed
+ * atomics per bucket, CAS loops for sum/min/max); the readers
+ * (count/sum/quantile/dumps) take a racy-but-torn-free snapshot,
+ * intended for use after the writers have joined.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kDefaultBuckets = 64;
+
+    explicit LatencyHistogram(double first_upper = 1.0,
+                              double growth = 2.0,
+                              std::size_t buckets =
+                                  kDefaultBuckets);
+
+    LatencyHistogram(const LatencyHistogram &other);
+    LatencyHistogram &operator=(const LatencyHistogram &other);
+    LatencyHistogram(LatencyHistogram &&other) noexcept;
+    LatencyHistogram &operator=(LatencyHistogram &&other) noexcept;
+
+    /** Fold one sample in; thread-safe and lock-free. */
+    void add(double x);
+
+    /**
+     * Fold another histogram in bucket-by-bucket; panics when the
+     * bucket shapes differ.  Thread-safe on the destination.
+     */
+    void merge(const LatencyHistogram &other);
+
+    void reset();
+
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const;  ///< 0 when empty
+    double max() const;  ///< 0 when empty
+    double mean() const; ///< 0 when empty
+
+    std::size_t buckets() const { return counts_.size(); }
+    double growth() const { return growth_; }
+
+    /** Inclusive upper edge of bucket i; +Inf for the last. */
+    double upperEdge(std::size_t i) const;
+
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    /**
+     * Smallest x with at least fraction @p q of samples <= x,
+     * linearly interpolated within the containing bucket and
+     * clamped to the observed [min, max].
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** True when the bucket shapes (edges) are identical. */
+    bool sameShape(const LatencyHistogram &other) const;
+
+  private:
+    double first_ = 1.0;
+    double growth_ = 2.0;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
+    std::atomic<double> max_{0.0};
+
+    std::size_t bucketIndex(double x) const;
+    void copyFrom(const LatencyHistogram &other);
+};
 
 /** One registered statistic. */
 struct StatEntry
@@ -53,8 +137,10 @@ struct StatEntry
     double scalar = 0.0;                ///< Scalar value
     std::function<double()> formula;    ///< Formula evaluator
     RunningStats distribution;          ///< Distribution summary
+    LatencyHistogram histogram;         ///< Histogram buckets
 
-    /** Scalar value, evaluated formula, or distribution mean. */
+    /** Scalar value, evaluated formula, or distribution/histogram
+     *  mean. */
     double valueNow() const;
 };
 
@@ -77,6 +163,18 @@ class StatRegistry
                          const RunningStats &distribution,
                          const std::string &description,
                          const std::string &unit = "");
+
+    /**
+     * Register a latency histogram (copied in).  The returned
+     * reference accepts further concurrent add()s, but is only
+     * valid until the next registration (the entry table may
+     * reallocate).
+     */
+    LatencyHistogram &
+    addLatencyHistogram(const std::string &name,
+                        const LatencyHistogram &histogram,
+                        const std::string &description,
+                        const std::string &unit = "");
 
     bool contains(const std::string &name) const;
 
@@ -119,7 +217,9 @@ class StatRegistry
      * per the exposition rules (backslash, double quote, newline).
      * Scalars and formulas emit as gauges with a HELP/TYPE pair;
      * distributions emit as summaries (quantile 0/1 = min/max,
-     * plus _sum and _count).
+     * plus _sum and _count); latency histograms emit as conformant
+     * Prometheus histograms (cumulative `_bucket{le="..."}` series
+     * ending in le="+Inf", plus `_sum` and `_count`).
      */
     std::string dumpPrometheus(
         const std::string &prefix = "uatm",
@@ -179,6 +279,16 @@ class StatGroup
     {
         registry_.addDistribution(qualify(name), distribution,
                                   description, unit);
+    }
+
+    LatencyHistogram &
+    addLatencyHistogram(const std::string &name,
+                        const LatencyHistogram &histogram,
+                        const std::string &description,
+                        const std::string &unit = "") const
+    {
+        return registry_.addLatencyHistogram(
+            qualify(name), histogram, description, unit);
     }
 
     const std::string &prefix() const { return prefix_; }

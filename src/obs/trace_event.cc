@@ -11,6 +11,7 @@
 #include <map>
 
 #include "obs/json.hh"
+#include "obs/registry.hh"
 #include "util/logging.hh"
 
 namespace uatm::obs {
@@ -41,6 +42,27 @@ std::uint64_t
 EventTracer::dropped() const
 {
     return recorded_ < ring_.size() ? 0 : recorded_ - ring_.size();
+}
+
+const char *
+EventTracer::intern(const std::string &name)
+{
+    return interned_.insert(name).first->c_str();
+}
+
+void
+EventTracer::registerStats(StatRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".recorded",
+                       static_cast<double>(recorded()),
+                       "trace events ever recorded");
+    registry.addScalar(prefix + ".dropped",
+                       static_cast<double>(dropped()),
+                       "trace events lost to ring wraparound");
+    registry.addScalar(prefix + ".capacity",
+                       static_cast<double>(capacity()),
+                       "trace ring capacity in events");
 }
 
 std::vector<TraceEvent>
@@ -213,6 +235,18 @@ flushGlobalTrace()
     const std::string &path = globalTracePath();
     if (path.empty())
         return;
+    // One-shot: a wrapped ring means the written trace silently
+    // starts mid-run, which is easy to misread as "the run began
+    // here" — say so loudly, but only once per process however
+    // many times the trace is flushed.
+    static bool warnedDropped = false;
+    if (globalTracer().dropped() > 0 && !warnedDropped) {
+        warnedDropped = true;
+        warn("trace ring overflowed: ", globalTracer().dropped(),
+             " oldest events were dropped and the exported trace "
+             "is truncated; raise UATM_TRACE_EVENTS (currently ",
+             globalTracer().capacity(), ")");
+    }
     if (globalTracer().writeChromeJson(path)) {
         inform("wrote Chrome trace (", globalTracer().size(),
                " events, ", globalTracer().dropped(),

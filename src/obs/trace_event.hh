@@ -27,9 +27,12 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace uatm::obs {
+
+class StatRegistry;
 
 /** Bumped whenever the exported trace layout changes shape. */
 constexpr int kTraceSchemaVersion = 1;
@@ -116,6 +119,24 @@ class EventTracer
     /** Events lost to ring wraparound. */
     std::uint64_t dropped() const;
 
+    /**
+     * Copy @p name into tracer-owned storage and return a pointer
+     * that stays valid for the tracer's lifetime, so runtime-built
+     * names (per-worker tracks, point labels) can feed record()'s
+     * literal-pointer contract.  Repeated calls with the same text
+     * return the same pointer.
+     */
+    const char *intern(const std::string &name);
+
+    /**
+     * Register the tracer's health counters — events recorded,
+     * events dropped to ring wraparound, and the ring capacity —
+     * so a truncated trace is visible in every stat dump, not just
+     * the trace file's own metadata.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix = "tracer") const;
+
     /** Buffered events, oldest first. */
     std::vector<TraceEvent> events() const;
 
@@ -136,6 +157,8 @@ class EventTracer
     std::size_t head_ = 0;        ///< next write position
     std::uint64_t recorded_ = 0;
     bool enabled_ = false;
+    /** intern() storage; node-based so pointers stay stable. */
+    std::unordered_set<std::string> interned_;
 };
 
 /**

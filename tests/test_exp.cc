@@ -376,21 +376,29 @@ TEST(Runner, FailFastWrapsStatusReturnsAsStatusError)
     }
 }
 
-TEST(Runner, TracerForcesSerialAndReportsOneThreadRequested)
+TEST(Runner, TracerNoLongerForcesSerialAndArmsTelemetry)
 {
     obs::globalTracer().setEnabled(true);
-    Runner runner(RunnerOptions{8});
+    Runner runner(RunnerOptions{4});
     Scenario scenario("traced");
     scenario.sweep("i", {0, 1, 2, 3},
                    [](Point &, const AxisValue &) {});
     runner.run(scenario, {"x"}, [](const Point &) {
         return std::vector<Cell>{Cell::num(0.0)};
     });
+    const bool reenabled = obs::globalTracer().enabled();
     obs::globalTracer().setEnabled(false);
-    // Regression: a tracer-forced-serial run must not claim it
-    // requested hardware_concurrency() threads.
-    EXPECT_EQ(runner.lastStats().threadsRequested, 1u);
-    EXPECT_EQ(runner.lastStats().threadsUsed, 0u);
+    obs::globalTracer().clear();
+    // The tracer used to force a traced run down to one thread;
+    // now the runner suspends it around the pool and replays
+    // per-worker spans afterwards, so the full pool runs — and
+    // the tracer must come back enabled after the join.
+    EXPECT_TRUE(reenabled);
+    EXPECT_EQ(runner.lastStats().threadsRequested, 4u);
+    EXPECT_EQ(runner.lastStats().threadsUsed, 4u);
+    // An enabled tracer arms telemetry automatically.
+    EXPECT_TRUE(runner.lastTelemetry().armed);
+    EXPECT_EQ(runner.lastTelemetry().workers.size(), 4u);
 }
 
 TEST(Runner, StatsRegisterUnderPrefix)

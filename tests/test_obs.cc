@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "cpu/timing_engine.hh"
 #include "obs/bench.hh"
@@ -1036,6 +1038,311 @@ TEST(EngineTracing, DisabledTracerCostsNoEvents)
     engine.run(t, 10);
     engine.setTracer(nullptr);
     EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+// --------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogram, EdgesGrowGeometricallyToInfinity)
+{
+    obs::LatencyHistogram h(1.0, 2.0, 8);
+    EXPECT_EQ(h.buckets(), 8u);
+    EXPECT_DOUBLE_EQ(h.upperEdge(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(6), 64.0);
+    EXPECT_TRUE(std::isinf(h.upperEdge(7)));
+}
+
+TEST(LatencyHistogram, CountsSumMinMaxMean)
+{
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    for (double x : {4.0, 16.0, 10.0})
+        h.add(x);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+    EXPECT_DOUBLE_EQ(h.min(), 4.0);
+    EXPECT_DOUBLE_EQ(h.max(), 16.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+    // NaN is dropped, negatives clamp into the first bucket.
+    h.add(std::nan(""));
+    EXPECT_EQ(h.count(), 3u);
+    h.add(-5.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(LatencyHistogram, SamplesLandInTheRightBuckets)
+{
+    obs::LatencyHistogram h(1.0, 2.0, 8);
+    // Bucket 0 = [0, 1], bucket i = (2^(i-1), 2^i].
+    h.add(1.0);   // bucket 0 (inclusive upper edge)
+    h.add(1.5);   // bucket 1
+    h.add(2.0);   // bucket 1
+    h.add(2.1);   // bucket 2
+    h.add(1e30);  // overflow bucket
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+}
+
+TEST(LatencyHistogram, QuantilesInterpolateAndClamp)
+{
+    obs::LatencyHistogram constant;
+    for (int i = 0; i < 100; ++i)
+        constant.add(5.0);
+    // Every quantile of a constant distribution is the constant:
+    // interpolation would smear across the bucket, but the result
+    // clamps to the observed [min, max].
+    EXPECT_DOUBLE_EQ(constant.quantile(0.01), 5.0);
+    EXPECT_DOUBLE_EQ(constant.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(constant.p99(), 5.0);
+
+    obs::LatencyHistogram uniform;
+    for (int i = 1; i <= 1024; ++i)
+        uniform.add(static_cast<double>(i));
+    // Log-bucketed quantiles carry at most one bucket (2x) of
+    // relative error against the true order statistics.
+    EXPECT_GE(uniform.p50(), 512.0 / 2.0);
+    EXPECT_LE(uniform.p50(), 512.0 * 2.0);
+    EXPECT_GE(uniform.p99(), 1014.0 / 2.0);
+    EXPECT_LE(uniform.p99(), 1024.0);
+    // Monotone in q, bounded by the observed extremes.
+    EXPECT_LE(uniform.quantile(0.0), uniform.p50());
+    EXPECT_LE(uniform.p50(), uniform.p95());
+    EXPECT_LE(uniform.p95(), uniform.p99());
+    EXPECT_LE(uniform.quantile(1.0), 1024.0);
+    EXPECT_GE(uniform.quantile(0.0), 1.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesInterleavedAdds)
+{
+    obs::LatencyHistogram a, b, reference;
+    for (int i = 0; i < 256; ++i) {
+        const double x = static_cast<double>((i * 37) % 500);
+        (i % 2 ? a : b).add(x);
+        reference.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), reference.count());
+    EXPECT_DOUBLE_EQ(a.sum(), reference.sum());
+    EXPECT_DOUBLE_EQ(a.min(), reference.min());
+    EXPECT_DOUBLE_EQ(a.max(), reference.max());
+    for (std::size_t i = 0; i < a.buckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), reference.bucketCount(i));
+    EXPECT_DOUBLE_EQ(a.p95(), reference.p95());
+}
+
+TEST(LatencyHistogram, ConcurrentAddsLoseNothing)
+{
+    // Integer-valued samples make the double sum exact, so the
+    // concurrent result must equal the serial reference bucket
+    // for bucket — any lost update or torn read breaks it.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    obs::LatencyHistogram concurrent, reference;
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            reference.add(
+                static_cast<double>((t * 7919 + i * 31) % 4096));
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&concurrent, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                concurrent.add(static_cast<double>(
+                    (t * 7919 + i * 31) % 4096));
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    EXPECT_EQ(concurrent.count(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(concurrent.sum(), reference.sum());
+    EXPECT_DOUBLE_EQ(concurrent.min(), reference.min());
+    EXPECT_DOUBLE_EQ(concurrent.max(), reference.max());
+    for (std::size_t i = 0; i < concurrent.buckets(); ++i)
+        EXPECT_EQ(concurrent.bucketCount(i),
+                  reference.bucketCount(i));
+}
+
+TEST(LatencyHistogram, ConcurrentRegistryUpdatesStayConsistent)
+{
+    // The reference returned by addLatencyHistogram must accept
+    // concurrent add()s from many threads (the runner's workers
+    // feeding one registered histogram).
+    obs::StatRegistry registry;
+    obs::LatencyHistogram &h = registry.addLatencyHistogram(
+        "lat", obs::LatencyHistogram(), "latencies", "ns");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.add(static_cast<double>(i % 1000));
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    const obs::StatEntry *entry = registry.find("lat");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->histogram.count(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(entry->histogram.max(), 999.0);
+}
+
+TEST(StatRegistry, HistogramAppearsInTextAndJsonDumps)
+{
+    obs::StatRegistry registry;
+    obs::LatencyHistogram h;
+    for (double x : {1.0, 10.0, 100.0})
+        h.add(x);
+    registry.addLatencyHistogram("runner.point_ns", h,
+                                 "per-point latency", "ns");
+    EXPECT_DOUBLE_EQ(registry.value("runner.point_ns"), 37.0);
+
+    const std::string text = registry.formatText();
+    EXPECT_NE(text.find("runner.point_ns"), std::string::npos);
+    EXPECT_NE(text.find("p50="), std::string::npos);
+    EXPECT_NE(text.find("p99="), std::string::npos);
+
+    const auto parsed = obs::parseJson(registry.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const obs::JsonValue &stat =
+        parsed.value.at("stats").at("runner.point_ns");
+    EXPECT_EQ(stat.stringOr("kind", ""), "histogram");
+    EXPECT_DOUBLE_EQ(stat.numberOr("count", 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(stat.numberOr("sum", 0.0), 111.0);
+    EXPECT_GT(stat.numberOr("p99", 0.0), 0.0);
+    const obs::JsonValue *buckets = stat.find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->isArray());
+    EXPECT_EQ(buckets->size(), 3u);  // only occupied buckets
+}
+
+TEST(StatRegistry, PrometheusHistogramIsConformant)
+{
+    obs::StatRegistry registry;
+    obs::LatencyHistogram h;
+    for (double x : {1.0, 3.0, 500.0})
+        h.add(x);
+    // The "ns" unit lands in the metric name, per convention.
+    registry.addLatencyHistogram("runner.point_latency", h,
+                                 "per-point latency", "ns");
+    const std::string dump = registry.dumpPrometheus("uatm");
+    const std::string metric = "uatm_runner_point_latency_ns";
+
+    EXPECT_NE(dump.find("# TYPE " + metric + " histogram"),
+              std::string::npos);
+    EXPECT_NE(dump.find(metric + "_sum 504"),
+              std::string::npos);
+    EXPECT_NE(dump.find(metric + "_count 3"),
+              std::string::npos);
+    // The +Inf bucket closes the series and equals _count.
+    EXPECT_NE(dump.find(metric + "_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    // Buckets are cumulative: the le="4" bucket holds 1 and 3.
+    EXPECT_NE(dump.find(metric + "_bucket{le=\"4\"} 2"),
+              std::string::npos);
+}
+
+// ------------------------------------------------- tracer health stats
+
+TEST(EventTracer, RegisterStatsExposesDropCounters)
+{
+    obs::EventTracer tracer(4);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 6; ++i)
+        tracer.record("e", "cat", i, 1);
+    tracer.setEnabled(false);
+    EXPECT_EQ(tracer.recorded(), 6u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+
+    obs::StatRegistry registry;
+    tracer.registerStats(registry, "tracer");
+    EXPECT_DOUBLE_EQ(registry.value("tracer.recorded"), 6.0);
+    EXPECT_DOUBLE_EQ(registry.value("tracer.dropped"), 2.0);
+    EXPECT_DOUBLE_EQ(registry.value("tracer.capacity"), 4.0);
+}
+
+TEST(EventTracer, InternReturnsStablePointers)
+{
+    obs::EventTracer tracer(4);
+    const char *a = tracer.intern("worker 0");
+    const char *b = tracer.intern("worker 1");
+    const char *again = tracer.intern("worker 0");
+    EXPECT_EQ(a, again);  // same text, same pointer
+    EXPECT_NE(a, b);
+    EXPECT_STREQ(a, "worker 0");
+    // Still valid after more interning (node-based storage).
+    for (int i = 0; i < 100; ++i)
+        tracer.intern("filler " + std::to_string(i));
+    EXPECT_STREQ(a, "worker 0");
+}
+
+// ------------------------------------------- bench thread metadata
+
+TEST(PerfDiff, ComparableWithoutThreadMetadata)
+{
+    const auto doc =
+        perfdoc::make({{"a", 100.0, 1.0}, {"b", 5.0, 0.1}});
+    std::string error;
+    EXPECT_TRUE(obs::perfComparable(doc, doc, error)) << error;
+}
+
+TEST(PerfDiff, RefusesMismatchedHostCores)
+{
+    const auto before = obs::parseJson(
+        "{\"host_cores\": 8, \"benchmarks\": []}");
+    const auto after = obs::parseJson(
+        "{\"host_cores\": 4, \"benchmarks\": []}");
+    ASSERT_TRUE(before.ok && after.ok);
+    std::string error;
+    EXPECT_FALSE(obs::perfComparable(before.value, after.value,
+                                     error));
+    EXPECT_NE(error.find("host_cores"), std::string::npos);
+    // Same cores: fine.
+    EXPECT_TRUE(obs::perfComparable(before.value, before.value,
+                                    error));
+}
+
+TEST(PerfDiff, RefusesMismatchedBenchmarkThreads)
+{
+    const auto before = obs::parseJson(
+        "{\"benchmarks\": [{\"name\": \"sweep/t4\", "
+        "\"threads_requested\": 4, \"threads_used\": 4}]}");
+    const auto after = obs::parseJson(
+        "{\"benchmarks\": [{\"name\": \"sweep/t4\", "
+        "\"threads_requested\": 4, \"threads_used\": 1}]}");
+    ASSERT_TRUE(before.ok && after.ok);
+    std::string error;
+    EXPECT_FALSE(obs::perfComparable(before.value, after.value,
+                                     error));
+    EXPECT_NE(error.find("threads_used"), std::string::npos);
+    EXPECT_NE(error.find("sweep/t4"), std::string::npos);
+}
+
+TEST(BenchSuite, JsonRecordsHostCoresAndThreads)
+{
+    obs::BenchSuite suite("threads_meta");
+    suite.add("t2", [](obs::BenchState &state) {
+        state.setItems(1);
+        state.setThreads(2, 2);
+    });
+    obs::BenchSuite::RunOptions options;
+    options.reps = 1;
+    options.writeJson = false;
+    suite.run(options);
+
+    const auto parsed = obs::parseJson(suite.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_GT(parsed.value.numberOr("host_cores", 0.0), 0.0);
+    const obs::JsonValue &record =
+        parsed.value.at("benchmarks").at(0);
+    EXPECT_DOUBLE_EQ(record.numberOr("threads_requested", 0.0),
+                     2.0);
+    EXPECT_DOUBLE_EQ(record.numberOr("threads_used", 0.0), 2.0);
 }
 
 } // namespace

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the runner telemetry layer: per-worker recording, the
+ * determinism contract with telemetry armed, JSON round-trips, the
+ * scaling diagnosis, the Amdahl fit, and the per-worker trace
+ * replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/telemetry.hh"
+#include "obs/json.hh"
+#include "obs/trace_event.hh"
+
+using namespace uatm;
+using namespace uatm::exp;
+
+namespace {
+
+Scenario
+fourPointScenario(const std::string &name = "telemetry-test")
+{
+    Scenario scenario(name);
+    scenario.sweep("i", {0, 1, 2, 3},
+                   [](Point &, const AxisValue &) {});
+    return scenario;
+}
+
+Runner::Kernel
+trivialKernel()
+{
+    return [](const Point &point)
+               -> Expected<std::vector<Cell>> {
+        return std::vector<Cell>{
+            Cell::num(static_cast<double>(point.index))};
+    };
+}
+
+} // namespace
+
+TEST(RunnerTelemetry, DisarmedByDefault)
+{
+    Runner runner(RunnerOptions{1});
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+    EXPECT_FALSE(runner.lastTelemetry().armed);
+    EXPECT_TRUE(runner.lastTelemetry().workers.empty());
+    EXPECT_TRUE(runner.lastTelemetry().points.empty());
+}
+
+TEST(RunnerTelemetry, ArmedSerialRunRecordsEveryPoint)
+{
+    RunnerOptions options;
+    options.threads = 1;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+
+    const RunnerTelemetry &t = runner.lastTelemetry();
+    EXPECT_TRUE(t.armed);
+    EXPECT_EQ(t.scenario, "telemetry-test");
+    EXPECT_EQ(t.threadsRequested, 1u);
+    EXPECT_EQ(t.threadsUsed, 0u);  // inline, no thread spawned
+    EXPECT_EQ(t.pointCount, 4u);
+    EXPECT_EQ(t.pointsFailed, 0u);
+    ASSERT_EQ(t.workers.size(), 1u);
+    EXPECT_EQ(t.workers[0].points, 4u);
+    ASSERT_EQ(t.points.size(), 4u);
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+        EXPECT_EQ(t.points[i].index, i);
+        EXPECT_EQ(t.points[i].worker, 0u);
+        EXPECT_FALSE(t.points[i].label.empty());
+    }
+    EXPECT_EQ(t.pointLatency.count(), 4u);
+    // Worker kernel time covers at least the recorded points.
+    std::uint64_t durations = 0;
+    for (const auto &point : t.points)
+        durations += point.durationNs;
+    EXPECT_EQ(t.workers[0].kernelNs, durations);
+}
+
+TEST(RunnerTelemetry, ParallelRunCoversAllPointsOnce)
+{
+    RunnerOptions options;
+    options.threads = 4;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+
+    const RunnerTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.threadsUsed, 4u);
+    ASSERT_EQ(t.workers.size(), 4u);
+    ASSERT_EQ(t.points.size(), 4u);
+    std::set<std::size_t> indices;
+    std::uint64_t workerPoints = 0;
+    for (const auto &point : t.points)
+        indices.insert(point.index);
+    for (const auto &worker : t.workers)
+        workerPoints += worker.points;
+    EXPECT_EQ(indices.size(), 4u);  // each point exactly once
+    EXPECT_EQ(workerPoints, 4u);
+    // points is sorted by index, whatever the completion order.
+    for (std::size_t i = 1; i < t.points.size(); ++i)
+        EXPECT_LT(t.points[i - 1].index, t.points[i].index);
+}
+
+TEST(RunnerTelemetry, ArmedMergeIsByteIdenticalToDisarmedSerial)
+{
+    const std::string serial = [&] {
+        Runner runner(RunnerOptions{1});
+        return runner
+            .run(fourPointScenario(), {"x"}, trivialKernel())
+            .renderCsv();
+    }();
+    for (unsigned threads : {1u, 2u, 4u}) {
+        RunnerOptions options;
+        options.threads = threads;
+        options.telemetry = true;
+        Runner runner(options);
+        EXPECT_EQ(runner
+                      .run(fourPointScenario(), {"x"},
+                           trivialKernel())
+                      .renderCsv(),
+                  serial)
+            << "telemetry-armed merge diverged at " << threads
+            << " threads";
+    }
+}
+
+TEST(RunnerTelemetry, FailedPointsAreStillTimed)
+{
+    RunnerOptions options;
+    options.threads = 2;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario(), {"x"},
+               [](const Point &point)
+                   -> Expected<std::vector<Cell>> {
+                   if (point.index == 2)
+                       return Status::invalidArgument("boom");
+                   return std::vector<Cell>{Cell::num(1.0)};
+               });
+    const RunnerTelemetry &t = runner.lastTelemetry();
+    EXPECT_EQ(t.pointsFailed, 1u);
+    EXPECT_EQ(t.points.size(), 4u);  // the failed point included
+    EXPECT_EQ(t.pointLatency.count(), 4u);
+}
+
+TEST(RunnerTelemetry, JsonRoundTripPreservesEverything)
+{
+    RunnerOptions options;
+    options.threads = 2;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario("roundtrip"), {"x"},
+               trivialKernel());
+    const RunnerTelemetry &before = runner.lastTelemetry();
+
+    const obs::JsonParseResult parsed =
+        obs::parseJson(before.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Expected<RunnerTelemetry> after =
+        RunnerTelemetry::fromJson(parsed.value);
+    ASSERT_TRUE(after.ok()) << after.status().toString();
+
+    const RunnerTelemetry &t = after.value();
+    EXPECT_EQ(t.scenario, before.scenario);
+    EXPECT_EQ(t.threadsRequested, before.threadsRequested);
+    EXPECT_EQ(t.threadsUsed, before.threadsUsed);
+    EXPECT_EQ(t.pointCount, before.pointCount);
+    EXPECT_EQ(t.wallNs, before.wallNs);
+    EXPECT_EQ(t.expandNs, before.expandNs);
+    EXPECT_EQ(t.mergeNs, before.mergeNs);
+    ASSERT_EQ(t.workers.size(), before.workers.size());
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+        EXPECT_EQ(t.workers[i].kernelNs,
+                  before.workers[i].kernelNs);
+        EXPECT_EQ(t.workers[i].idleNs, before.workers[i].idleNs);
+        EXPECT_EQ(t.workers[i].lifetimeNs,
+                  before.workers[i].lifetimeNs);
+    }
+    ASSERT_EQ(t.points.size(), before.points.size());
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+        EXPECT_EQ(t.points[i].index, before.points[i].index);
+        EXPECT_EQ(t.points[i].durationNs,
+                  before.points[i].durationNs);
+        EXPECT_EQ(t.points[i].label, before.points[i].label);
+    }
+    // The histogram is rebuilt from the per-point durations.
+    EXPECT_EQ(t.pointLatency.count(),
+              before.pointLatency.count());
+    EXPECT_EQ(t.pointLatency.p99(), before.pointLatency.p99());
+}
+
+TEST(RunnerTelemetry, FileRoundTripAndLoadErrors)
+{
+    RunnerOptions options;
+    options.threads = 1;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+
+    const std::string path =
+        testing::TempDir() + "uatm_telemetry_roundtrip.json";
+    ASSERT_TRUE(
+        runner.lastTelemetry().writeJson(path).ok());
+    const Expected<RunnerTelemetry> loaded =
+        RunnerTelemetry::load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().pointCount, 4u);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(
+        RunnerTelemetry::load("/nonexistent/telemetry.json")
+            .ok());
+}
+
+TEST(RunnerTelemetry, FromJsonRejectsForeignDocuments)
+{
+    const obs::JsonParseResult notTelemetry =
+        obs::parseJson("{\"kind\": \"bench\"}");
+    ASSERT_TRUE(notTelemetry.ok);
+    EXPECT_FALSE(
+        RunnerTelemetry::fromJson(notTelemetry.value).ok());
+
+    const obs::JsonParseResult badVersion = obs::parseJson(
+        "{\"kind\": \"runner_telemetry\", "
+        "\"schema_version\": 999, \"workers\": []}");
+    ASSERT_TRUE(badVersion.ok);
+    EXPECT_FALSE(
+        RunnerTelemetry::fromJson(badVersion.value).ok());
+}
+
+TEST(RunnerTelemetry, EnvVariableArmsTelemetry)
+{
+    setenv("UATM_RUNNER_TELEMETRY", "1", 1);
+    Runner runner(RunnerOptions{1});
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+    unsetenv("UATM_RUNNER_TELEMETRY");
+    EXPECT_TRUE(runner.lastTelemetry().armed);
+
+    setenv("UATM_RUNNER_TELEMETRY", "0", 1);
+    Runner disarmed(RunnerOptions{1});
+    disarmed.run(fourPointScenario(), {"x"}, trivialKernel());
+    unsetenv("UATM_RUNNER_TELEMETRY");
+    EXPECT_FALSE(disarmed.lastTelemetry().armed);
+}
+
+TEST(RunnerTelemetry, StatsRegisterUnderPrefix)
+{
+    RunnerOptions options;
+    options.threads = 2;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario(), {"x"}, trivialKernel());
+
+    obs::StatRegistry registry;
+    runner.lastTelemetry().registerStats(registry, "tel");
+    EXPECT_EQ(registry.value("tel.points"), 4.0);
+    EXPECT_TRUE(registry.contains("tel.point_ns"));
+    EXPECT_TRUE(registry.contains("tel.load_imbalance"));
+    EXPECT_TRUE(registry.contains("tel.worker0.utilization"));
+    EXPECT_TRUE(registry.contains("tel.worker1.utilization"));
+}
+
+TEST(RunnerTelemetry, TracedParallelRunEmitsPerWorkerTracks)
+{
+    obs::EventTracer &tracer = obs::globalTracer();
+    tracer.clear();
+    tracer.setEnabled(true);
+    RunnerOptions options;
+    options.threads = 2;
+    Runner runner(options);
+    runner.run(fourPointScenario("traced-pool"), {"x"},
+               trivialKernel());
+    tracer.setEnabled(false);
+
+    std::set<std::string> categories;
+    std::size_t pointSpans = 0;
+    for (const auto &event : tracer.events()) {
+        categories.insert(event.category);
+        if (std::string(event.name).rfind("i=", 0) == 0)
+            ++pointSpans;
+    }
+    tracer.clear();
+    EXPECT_TRUE(categories.count("runner worker 0"));
+    EXPECT_TRUE(categories.count("runner worker 1"));
+    // One span per point, named by the point's label.
+    EXPECT_EQ(pointSpans, 4u);
+}
+
+TEST(RunDiagnosis, ComputesUtilizationImbalanceAndTopK)
+{
+    RunnerTelemetry t;
+    t.armed = true;
+    t.threadsUsed = 2;
+    t.pointCount = 3;
+    t.wallNs = 1000;
+    t.workers = {
+        WorkerTelemetry{0, 2, 900, 0, 100, 1000},
+        WorkerTelemetry{1, 1, 300, 0, 700, 1000},
+    };
+    t.points = {
+        PointTiming{0, 0, 0, 500, "a"},
+        PointTiming{1, 0, 500, 400, "b"},
+        PointTiming{2, 1, 0, 300, "c"},
+    };
+
+    const RunDiagnosis d = diagnoseRun(t, 2);
+    ASSERT_EQ(d.workerUtilization.size(), 2u);
+    EXPECT_DOUBLE_EQ(d.workerUtilization[0], 0.9);
+    EXPECT_DOUBLE_EQ(d.workerUtilization[1], 0.3);
+    // max/mean = 900 / 600
+    EXPECT_DOUBLE_EQ(d.loadImbalance, 1.5);
+    // (900 + 300) / (1000 * 2)
+    EXPECT_DOUBLE_EQ(d.parallelEfficiency, 0.6);
+    ASSERT_EQ(d.slowestPoints.size(), 2u);
+    EXPECT_EQ(d.slowestPoints[0].index, 0u);
+    EXPECT_EQ(d.slowestPoints[1].index, 1u);
+
+    const std::string text = formatDiagnosis(d);
+    EXPECT_NE(text.find("load imbalance 1.50x"),
+              std::string::npos);
+    EXPECT_NE(text.find("worker  0"), std::string::npos);
+}
+
+TEST(AmdahlFit, RecoversKnownSerialFraction)
+{
+    // T(n) = 1000 * (0.3 + 0.7 / n), exactly Amdahl with s = 0.3.
+    std::vector<std::pair<unsigned, double>> samples;
+    for (unsigned n : {1u, 2u, 4u, 8u})
+        samples.emplace_back(
+            n, 1000.0 * (0.3 + 0.7 / static_cast<double>(n)));
+    const AmdahlFit fit = fitAmdahl(samples);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.serialFraction, 0.3, 1e-9);
+    EXPECT_NEAR(fit.t1Ns, 1000.0, 1e-6);
+    EXPECT_NEAR(fit.speedupAt(8.0),
+                1.0 / (0.3 + 0.7 / 8.0), 1e-9);
+}
+
+TEST(AmdahlFit, NeedsTwoDistinctThreadCounts)
+{
+    EXPECT_FALSE(fitAmdahl({}).ok);
+    EXPECT_FALSE(fitAmdahl({{4, 100.0}}).ok);
+    // Thread count 0 (inline) aliases to 1 — still one count.
+    EXPECT_FALSE(fitAmdahl({{0, 100.0}, {1, 110.0}}).ok);
+    EXPECT_TRUE(fitAmdahl({{1, 100.0}, {2, 60.0}}).ok);
+}
+
+TEST(AmdahlFit, AveragesDuplicateThreadCounts)
+{
+    // Two noisy samples at each n, symmetric around the ideal
+    // curve with s = 0.5: averaging must recover the exact fit.
+    std::vector<std::pair<unsigned, double>> samples;
+    for (unsigned n : {1u, 2u, 4u}) {
+        const double ideal =
+            100.0 * (0.5 + 0.5 / static_cast<double>(n));
+        samples.emplace_back(n, ideal + 5.0);
+        samples.emplace_back(n, ideal - 5.0);
+    }
+    const AmdahlFit fit = fitAmdahl(samples);
+    ASSERT_TRUE(fit.ok);
+    EXPECT_NEAR(fit.serialFraction, 0.5, 1e-9);
+}
+
+TEST(AmdahlFit, ClampsSerialFractionToUnitInterval)
+{
+    // Anti-scaling (more threads, slower): the raw regression
+    // would report s > 1; the fit clamps it.
+    const AmdahlFit fit =
+        fitAmdahl({{1, 100.0}, {2, 150.0}, {4, 200.0}});
+    ASSERT_TRUE(fit.ok);
+    EXPECT_GE(fit.serialFraction, 0.0);
+    EXPECT_LE(fit.serialFraction, 1.0);
+}

@@ -13,10 +13,15 @@
  *     --min-rel=<f>    relative change floor (default 0.10 = 10%)
  *     --no-drift-norm  gate on raw times instead of dividing the
  *                      suite's median after/before ratio out first
+ *     --ignore-threads compare even when the recorded host core
+ *                      counts or per-benchmark thread configs
+ *                      differ (normally a refusal: the numbers
+ *                      measure different parallel setups)
  *
  * Exit status: 0 = no regressions, 1 = at least one benchmark
- * regressed, 2 = bad usage or unreadable/unparsable input.  The
- * exact CI invocation is documented in docs/OBSERVABILITY.md.
+ * regressed, 2 = bad usage, unreadable/unparsable input, or
+ * incomparable thread configurations.  The exact CI invocation is
+ * documented in docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
@@ -34,7 +39,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--report-only] [--sigmas=<s>] "
-        "[--min-rel=<f>] [--no-drift-norm] "
+        "[--min-rel=<f>] [--no-drift-norm] [--ignore-threads] "
         "<before.json> <after.json>\n",
         argv0);
     return 2;
@@ -49,12 +54,15 @@ main(int argc, char **argv)
 
     obs::PerfDiffOptions options;
     bool report_only = false;
+    bool ignore_threads = false;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--report-only") {
             report_only = true;
+        } else if (arg == "--ignore-threads") {
+            ignore_threads = true;
         } else if (arg == "--no-drift-norm") {
             options.normalizeDrift = false;
         } else if (arg.rfind("--sigmas=", 0) == 0) {
@@ -90,6 +98,22 @@ main(int argc, char **argv)
         !obs::loadBenchFile(files[1], after, error)) {
         std::fprintf(stderr, "perf_diff: %s\n", error.c_str());
         return 2;
+    }
+
+    if (!obs::perfComparable(before, after, error)) {
+        if (ignore_threads) {
+            std::printf("perf_diff: warning: %s "
+                        "(--ignore-threads, comparing anyway)\n",
+                        error.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "perf_diff: refusing to compare: %s\n"
+                         "  (the two records measure different "
+                         "parallel setups; rerun on matching "
+                         "configs or pass --ignore-threads)\n",
+                         error.c_str());
+            return 2;
+        }
     }
 
     const std::vector<obs::PerfDelta> deltas =

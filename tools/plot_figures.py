@@ -15,6 +15,11 @@ Usage:
         docs/OBSERVABILITY.md for the schema), ordered by file
         modification time.
 
+    python3 tools/plot_figures.py --telemetry <dir>
+        Plot per-worker utilization bars from every RUNNER_*.json
+        under <dir> (runner-telemetry records written by the
+        experiment runner; one grouped bar chart across all runs).
+
 Matplotlib is optional: when it is missing the script prints what
 it would have rendered and exits successfully — the repository's
 results never depend on it, since every figure is also printed as
@@ -213,6 +218,71 @@ def plot_bench_trajectories(directory: Path) -> None:
     save(fig, "bench_trajectory", directory)
 
 
+def load_telemetry_records(directory: Path):
+    """(run label, [per-worker utilization 0..1]) per record."""
+    paths = sorted(directory.rglob("RUNNER_*.json"),
+                   key=lambda p: (p.stat().st_mtime, str(p)))
+    records = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"  [skip] {path}: {err}")
+            continue
+        if doc.get("kind") != "runner_telemetry":
+            print(f"  [skip] {path}: not a runner_telemetry record")
+            continue
+        workers = doc.get("workers")
+        if not isinstance(workers, list) or not workers:
+            print(f"  [skip] {path}: no \"workers\" array")
+            continue
+        utils = []
+        for worker in workers:
+            lifetime = float(worker.get("lifetime_ns", 0.0))
+            busy = (float(worker.get("kernel_ns", 0.0)) +
+                    float(worker.get("acquire_ns", 0.0)))
+            utils.append(busy / lifetime if lifetime > 0 else 0.0)
+        label = str(doc.get("scenario", "")) or path.stem
+        if any(label == seen for seen, _ in records):
+            label = f"{label} ({path.stem})"
+        records.append((label, utils))
+    return records
+
+
+def plot_worker_utilization(directory: Path) -> None:
+    """Grouped per-worker utilization bars from RUNNER_*.json."""
+    records = load_telemetry_records(directory)
+    if not records:
+        sys.exit(f"no readable RUNNER_*.json under {directory}/ — "
+                 "run UATM_RUNNER_TELEMETRY=1 "
+                 "./build/bench/bench_sweep_parallel first")
+    for label, utils in records:
+        summary = " ".join(f"w{i}={u * 100:.0f}%"
+                           for i, u in enumerate(utils))
+        print(f"  {label}: {summary}")
+    if not HAVE_MPL:
+        print("  [skip] matplotlib not installed — no PNG "
+              "rendered (records parsed fine)")
+        return
+    max_workers = max(len(utils) for _, utils in records)
+    fig, ax = plt.subplots(figsize=(8, 5))
+    group_width = 0.8
+    bar_width = group_width / max_workers
+    for run, (label, utils) in enumerate(records):
+        for worker, util in enumerate(utils):
+            x = run - group_width / 2 + (worker + 0.5) * bar_width
+            ax.bar(x, util * 100.0, width=bar_width * 0.9,
+                   color=plt.cm.viridis(worker / max(1, max_workers - 1)))
+    ax.set_xticks(range(len(records)))
+    ax.set_xticklabels([label for label, _ in records],
+                       rotation=30, ha="right", fontsize=7)
+    ax.set_ylabel("worker utilization (%)")
+    ax.set_ylim(0, 105)
+    ax.set_title("per-worker utilization across runs")
+    ax.grid(True, axis="y", alpha=0.3)
+    save(fig, "worker_utilization", directory)
+
+
 def main(argv) -> None:
     parser = argparse.ArgumentParser(
         description="Render the paper figures from bench_out/ "
@@ -223,11 +293,23 @@ def main(argv) -> None:
         metavar="DIR",
         help="plot ns/op trajectories from every BENCH_*.json "
              "under DIR (default: $UATM_BENCH_OUT or bench_out)")
+    parser.add_argument(
+        "--telemetry", nargs="?", const=str(OUT_DIR), default=None,
+        metavar="DIR",
+        help="plot per-worker utilization bars from every "
+             "RUNNER_*.json under DIR (default: $UATM_BENCH_OUT "
+             "or bench_out)")
     args = parser.parse_args(argv)
 
     if args.bench is not None:
         print(f"reading BENCH_*.json from {args.bench}/")
         plot_bench_trajectories(Path(args.bench))
+        print("done")
+        return
+
+    if args.telemetry is not None:
+        print(f"reading RUNNER_*.json from {args.telemetry}/")
+        plot_worker_utilization(Path(args.telemetry))
         print("done")
         return
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Scaling-diagnosis report over runner telemetry.
+ *
+ * Consumes the RUNNER_*.json telemetry documents written by an
+ * instrumented exp::Runner (UATM_RUNNER_TELEMETRY=1, UATM_TRACE,
+ * or RunnerOptions::telemetry) and prints, per run, the per-worker
+ * utilization bars, the load-imbalance index, parallel efficiency,
+ * and the top-K slowest points; given runs at two or more distinct
+ * thread counts it also fits Amdahl's law and reports the serial
+ * fraction and the asymptotic speedup limit:
+ *
+ *   run_report [options] <telemetry.json>...
+ *
+ *     --top=<k>        slowest points to list per run (default 5)
+ *     --bench=<path>   also fold a BENCH_sweep_parallel.json into
+ *                      the Amdahl fit: benchmarks whose name ends
+ *                      in /t<n> contribute (n, median ns/rep)
+ *
+ * Exit status: 0 = report printed, 2 = bad usage or no readable
+ * telemetry input.  CI runs this over the perf-smoke artifacts;
+ * see docs/OBSERVABILITY.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/report.hh"
+#include "exp/telemetry.hh"
+#include "obs/bench.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--top=<k>] [--bench=<path>] "
+                 "<telemetry.json>...\n",
+                 argv0);
+    return 2;
+}
+
+/**
+ * Thread count encoded in a sweep benchmark name ("sweep/.../t8"
+ * -> 8); 0 when the name does not follow the convention.
+ */
+unsigned
+threadsFromBenchName(const std::string &name)
+{
+    const std::size_t slash = name.rfind('/');
+    if (slash == std::string::npos ||
+        slash + 2 > name.size() - 1 || name[slash + 1] != 't')
+        return 0;
+    const std::string digits = name.substr(slash + 2);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") !=
+            std::string::npos)
+        return 0;
+    return static_cast<unsigned>(std::atoi(digits.c_str()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace uatm;
+
+    std::size_t topK = 5;
+    std::string benchPath;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--top=", 0) == 0) {
+            const long parsed = std::atol(arg.c_str() + 6);
+            if (parsed < 0) {
+                std::fprintf(stderr,
+                             "run_report: invalid --top value "
+                             "'%s'\n",
+                             arg.c_str() + 6);
+                return 2;
+            }
+            topK = static_cast<std::size_t>(parsed);
+        } else if (arg.rfind("--bench=", 0) == 0) {
+            benchPath = arg.substr(8);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty() && benchPath.empty())
+        return usage(argv[0]);
+
+    // (threads, wall ns) samples feeding the Amdahl fit, from the
+    // telemetry files and optionally the sweep benchmark medians.
+    std::vector<std::pair<unsigned, double>> samples;
+    std::size_t loaded = 0;
+
+    for (const std::string &file : files) {
+        Expected<exp::RunnerTelemetry> telemetry =
+            exp::RunnerTelemetry::load(file);
+        if (!telemetry.ok()) {
+            std::fprintf(stderr, "run_report: %s\n",
+                         telemetry.status().message().c_str());
+            continue;
+        }
+        const exp::RunnerTelemetry &t = telemetry.value();
+        ++loaded;
+        std::printf("== %s%s%s ==\n", file.c_str(),
+                    t.scenario.empty() ? "" : ": ",
+                    t.scenario.c_str());
+        const exp::RunDiagnosis diagnosis =
+            exp::diagnoseRun(t, topK);
+        std::fputs(exp::formatDiagnosis(diagnosis).c_str(),
+                   stdout);
+        std::printf("\n");
+        if (t.wallNs > 0)
+            samples.emplace_back(t.threadsUsed,
+                                 static_cast<double>(t.wallNs));
+    }
+
+    if (!benchPath.empty()) {
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::loadBenchFile(benchPath, doc, error)) {
+            std::fprintf(stderr, "run_report: %s\n",
+                         error.c_str());
+            return loaded ? 0 : 2;
+        }
+        ++loaded;
+        const obs::JsonValue *list = doc.find("benchmarks");
+        std::size_t folded = 0;
+        if (list && list->isArray()) {
+            for (const obs::JsonValue &record : list->items()) {
+                if (!record.isObject())
+                    continue;
+                const unsigned threads = threadsFromBenchName(
+                    record.stringOr("name", ""));
+                if (threads == 0)
+                    continue;
+                const obs::JsonValue *per_rep =
+                    record.find("ns_per_rep");
+                const double wallNs =
+                    per_rep ? per_rep->numberOr("median", 0.0)
+                            : 0.0;
+                if (wallNs > 0.0) {
+                    samples.emplace_back(threads, wallNs);
+                    ++folded;
+                }
+            }
+        }
+        std::printf("== %s ==\n%zu sweep benchmark%s folded into "
+                    "the fit\n\n",
+                    benchPath.c_str(), folded,
+                    folded == 1 ? "" : "s");
+    }
+
+    if (loaded == 0) {
+        std::fprintf(stderr,
+                     "run_report: no readable input files\n");
+        return 2;
+    }
+
+    const exp::AmdahlFit fit = exp::fitAmdahl(samples);
+    std::fputs(exp::formatAmdahlFit(fit, samples).c_str(),
+               stdout);
+    return 0;
+}
