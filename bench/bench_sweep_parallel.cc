@@ -54,14 +54,17 @@ benchSweep()
 }
 
 std::string
-sweepCsv(unsigned threads, bool telemetry = false)
+sweepCsv(unsigned threads, bool telemetry = false,
+         exp::GeometrySweep::Engine engine =
+             exp::GeometrySweep::Engine::Auto)
 {
     exp::RunnerOptions options;
     options.threads = threads;
     options.telemetry = telemetry;
     exp::Runner runner(options);
-    return exp::runGeometrySweep(benchSweep(), runner)
-        .renderCsv();
+    exp::GeometrySweep spec = benchSweep();
+    spec.engine = engine;
+    return exp::runGeometrySweep(spec, runner).renderCsv();
 }
 
 /** $UATM_BENCH_OUT (default bench_out/), created if missing. */
@@ -156,10 +159,40 @@ run(int argc, char **argv)
                              threads);
                 return EXIT_FAILURE;
             }
+            // Cross-engine gate: the single-pass stack engine
+            // must merge byte-identically to brute-force
+            // per-point simulation at every thread count.
+            if (sweepCsv(threads, false,
+                         exp::GeometrySweep::Engine::PerPoint) !=
+                serial) {
+                std::fprintf(stderr,
+                             "FAIL: per-point sweep output at %u "
+                             "threads differs from the "
+                             "single-pass engine\n",
+                             threads);
+                return EXIT_FAILURE;
+            }
         }
+        // The timing table below is only meaningful if the Auto
+        // engine really took the fast path: refuse to benchmark a
+        // silent fallback.
+        resetSweepDispatchStats();
+        sweepCsv(1);
+        if (sweepDispatchCounters().fastPath == 0) {
+            std::fprintf(stderr,
+                         "FAIL: geometry sweep did not dispatch "
+                         "to the single-pass stack engine "
+                         "(declined=%llu per-point=%llu)\n",
+                         static_cast<unsigned long long>(
+                             sweepDispatchCounters().declined),
+                         static_cast<unsigned long long>(
+                             sweepDispatchCounters().perPoint));
+            return EXIT_FAILURE;
+        }
+        resetSweepDispatchStats();
         std::printf("sweep output byte-identical at 1/2/4/8 "
-                    "threads (disarmed and telemetry-armed); "
-                    "timing the pool...\n");
+                    "threads (disarmed, telemetry-armed and "
+                    "brute-force); timing the pool...\n");
     }
 
     obs::BenchSuite suite("sweep_parallel");
@@ -177,6 +210,23 @@ run(int argc, char **argv)
                              runner.lastStats().threadsUsed);
         });
     }
+    // Brute-force reference: one simulation per grid point, same
+    // scenario, one thread.  Recorded in the same JSON so
+    // tools/perf_diff can gate the single-pass speedup
+    // (--require-speedup) against it.
+    suite.add("sweep/geometry/brute/t1",
+              [](obs::BenchState &state) {
+                  exp::GeometrySweep spec = benchSweep();
+                  spec.engine =
+                      exp::GeometrySweep::Engine::PerPoint;
+                  state.setItems(spec.values.size() * spec.refs);
+                  exp::Runner runner(exp::RunnerOptions{1});
+                  const auto table =
+                      exp::runGeometrySweep(spec, runner);
+                  obs::doNotOptimize(table.rows());
+                  state.setThreads(1,
+                                   runner.lastStats().threadsUsed);
+              });
 
     obs::BenchSuite::RunOptions options;
     options.filter = args.filter;
@@ -186,15 +236,26 @@ run(int argc, char **argv)
     suite.run(options);
 
     if (!args.listOnly && args.filter.empty() &&
-        suite.results().size() == 4) {
+        suite.results().size() == 5) {
         const double serial =
             suite.results().front().nsPerRepMedian;
+        double brute = 0;
         std::printf("\nspeedup over 1 thread (wall clock, "
                     "%u-core host):\n",
                     std::thread::hardware_concurrency());
         for (const auto &result : suite.results()) {
+            if (result.name == "sweep/geometry/brute/t1") {
+                brute = result.nsPerRepMedian;
+                continue;
+            }
             std::printf("  %-24s %6.2fx\n", result.name.c_str(),
                         serial / result.nsPerRepMedian);
+        }
+        if (brute > 0) {
+            std::printf("\nsingle-pass stack engine vs "
+                        "brute-force per-point at 1 thread: "
+                        "%.2fx\n",
+                        brute / serial);
         }
 
         std::printf("\nscaling diagnosis (one telemetry-armed "

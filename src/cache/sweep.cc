@@ -5,10 +5,57 @@
 
 #include "cache/sweep.hh"
 
+#include <atomic>
+
+#include "cache/stack_sim.hh"
 #include "obs/profile.hh"
 #include "util/logging.hh"
 
 namespace uatm {
+
+namespace {
+
+std::atomic<std::uint64_t> g_fastPathSweeps{0};
+std::atomic<std::uint64_t> g_declinedSweeps{0};
+std::atomic<std::uint64_t> g_perPointSweeps{0};
+
+} // namespace
+
+SweepDispatchCounters
+sweepDispatchCounters()
+{
+    SweepDispatchCounters counters;
+    counters.fastPath =
+        g_fastPathSweeps.load(std::memory_order_relaxed);
+    counters.declined =
+        g_declinedSweeps.load(std::memory_order_relaxed);
+    counters.perPoint =
+        g_perPointSweeps.load(std::memory_order_relaxed);
+    return counters;
+}
+
+void
+resetSweepDispatchStats()
+{
+    g_fastPathSweeps.store(0, std::memory_order_relaxed);
+    g_declinedSweeps.store(0, std::memory_order_relaxed);
+    g_perPointSweeps.store(0, std::memory_order_relaxed);
+}
+
+void
+noteSweepDispatch(bool fast_path, bool structural,
+                  const std::string &reason)
+{
+    if (fast_path) {
+        g_fastPathSweeps.fetch_add(1, std::memory_order_relaxed);
+    } else if (structural) {
+        g_perPointSweeps.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        g_declinedSweeps.fetch_add(1, std::memory_order_relaxed);
+        warn("geometry sweep fell back to per-point simulation: ",
+             reason);
+    }
+}
 
 CacheRunResult
 runCacheSim(const CacheConfig &config, TraceSource &source,
@@ -85,10 +132,50 @@ sweepCacheSize(const CacheConfig &base, TraceSource &source,
                std::uint64_t refs, std::uint64_t warmup_refs)
 {
     UATM_PROFILE_SCOPE("cache.sweep_size");
-    return sweepGeometry(base, source, sizes, refs, warmup_refs,
-                         [](CacheConfig &config, std::uint64_t v) {
-                             config.sizeBytes = v;
-                         });
+    if (sizes.empty())
+        return {};
+    if (const char *reason = stackSimIneligibleReason(base)) {
+        noteSweepDispatch(false, false, reason);
+        return sweepGeometry(
+            base, source, sizes, refs, warmup_refs,
+            [](CacheConfig &config, std::uint64_t v) {
+                config.sizeBytes = v;
+            });
+    }
+
+    // Single-pass fast path: all points share line size and
+    // policies and differ only in set count, so one stack pass
+    // prices every size at once.  An invalid size throws the same
+    // StatusError the per-point path's cache constructor would.
+    GeometryGrid grid;
+    grid.lineBytes = base.lineBytes;
+    grid.write = base.write;
+    grid.writeMiss = base.writeMiss;
+    std::vector<CacheConfig> configs;
+    configs.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        okOrThrow(config.validate());
+        grid.addConfig(config);
+        configs.push_back(config);
+    }
+    noteSweepDispatch(true, false, {});
+
+    const GeometryHitSurface surface =
+        runStackSim(grid, source, refs, warmup_refs);
+    std::vector<SweepPoint> points;
+    points.reserve(sizes.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const CacheRunResult run{
+            configs[i],
+            surface.stats(configs[i].numSets(),
+                          configs[i].assoc)};
+        points.push_back(SweepPoint{sizes[i], run.hitRatio(),
+                                    run.missRatio(),
+                                    run.flushRatio()});
+    }
+    return points;
 }
 
 std::vector<SweepPoint>
@@ -97,6 +184,10 @@ sweepLineSize(const CacheConfig &base, TraceSource &source,
               std::uint64_t refs, std::uint64_t warmup_refs)
 {
     UATM_PROFILE_SCOPE("cache.sweep_line");
+    // Varying the line size changes the reference -> line mapping
+    // itself, which the stack reduction cannot share; the line
+    // axis is per-point by design, not a decline.
+    noteSweepDispatch(false, true, {});
     std::vector<std::uint64_t> values(line_sizes.begin(),
                                       line_sizes.end());
     return sweepGeometry(base, source, values, refs, warmup_refs,

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -55,6 +56,14 @@ struct SweepPoint
  * Hit ratio as a function of cache size, geometry otherwise fixed.
  * The source is reset before each run so every size sees the same
  * reference stream.
+ *
+ * When the base config qualifies (LRU + write-allocate, see
+ * stackSimIneligibleReason), the whole sweep runs as ONE
+ * stack-distance pass (cache/stack_sim) instead of one simulation
+ * per size — bit-identical results, roughly one trace traversal.
+ * A sweep that cannot take the fast path is never a silent
+ * fallback: it logs the reason and bumps
+ * sweepDispatchCounters().declined.
  */
 std::vector<SweepPoint>
 sweepCacheSize(const CacheConfig &base, TraceSource &source,
@@ -69,6 +78,39 @@ std::vector<SweepPoint>
 sweepLineSize(const CacheConfig &base, TraceSource &source,
               const std::vector<std::uint32_t> &line_sizes,
               std::uint64_t refs, std::uint64_t warmup_refs = 0);
+
+/**
+ * Process-wide tally of how geometry sweeps were dispatched, so a
+ * workload silently losing the single-pass engine is observable.
+ * All three counters are cumulative; see resetSweepDispatchStats.
+ */
+struct SweepDispatchCounters
+{
+    /** Sweeps served by the single-pass stack engine. */
+    std::uint64_t fastPath = 0;
+
+    /** Size-axis sweeps that qualified structurally but fell back
+     *  to per-point simulation — each decline is also logged with
+     *  its reason (never a silent fallback). */
+    std::uint64_t declined = 0;
+
+    /** Sweeps that are per-point by design: the line axis (the
+     *  stack reduction fixes the line size) or an explicitly
+     *  forced per-point engine. */
+    std::uint64_t perPoint = 0;
+};
+
+/** Snapshot of the global dispatch counters. */
+SweepDispatchCounters sweepDispatchCounters();
+
+/** Zero the global dispatch counters (tests, benchmarks). */
+void resetSweepDispatchStats();
+
+/** Internal: bump one counter (used by the exp layer's sweeps so
+ *  both dispatch sites share one tally).  @p reason, when
+ *  non-empty, is logged for declined sweeps. */
+void noteSweepDispatch(bool fast_path, bool structural,
+                       const std::string &reason);
 
 } // namespace uatm
 

@@ -5,8 +5,10 @@
 
 #include "exp/scenarios.hh"
 
+#include <memory>
 #include <utility>
 
+#include "cache/stack_sim.hh"
 #include "trace/generators.hh"
 #include "util/logging.hh"
 
@@ -38,6 +40,38 @@ sweepPointCells(const SweepPoint &sample)
     return {Cell::num(sample.hitRatio, kRatioPrecision),
             Cell::num(sample.missRatio, kRatioPrecision),
             Cell::num(sample.flushRatio, kRatioPrecision)};
+}
+
+/** How runGeometrySweep decided to evaluate one sweep. */
+struct EnginePlan
+{
+    bool fast = false;
+    /** Per-point by design (line axis, forced engine), as opposed
+     *  to a declined fast path. */
+    bool structural = false;
+    std::string reason;
+};
+
+EnginePlan
+planGeometryEngine(const GeometrySweep &spec)
+{
+    EnginePlan plan;
+    if (spec.engine == GeometrySweep::Engine::PerPoint) {
+        plan.structural = true;
+        plan.reason = "engine forced to per-point";
+        return plan;
+    }
+    if (spec.axis == GeometrySweep::Axis::Line) {
+        plan.structural = true;
+        plan.reason = "the line axis varies the line size";
+        return plan;
+    }
+    if (const char *reason = stackSimIneligibleReason(spec.base)) {
+        plan.reason = reason;
+        return plan;
+    }
+    plan.fast = true;
+    return plan;
 }
 
 } // namespace
@@ -82,16 +116,78 @@ runGeometrySweep(const GeometrySweep &spec, Runner &runner,
     Scenario scenario = makeGeometryScenario(spec);
     const std::string axis = geometryAxisName(spec.axis);
 
+    EnginePlan plan = planGeometryEngine(spec);
+    GeometryGrid grid;
+    std::unique_ptr<TraceSource> source;
+    if (plan.fast) {
+        auto made = spec.workload.make();
+        if (!made.ok()) {
+            // The per-point kernel reproduces the identical error
+            // row for every point, so decline rather than fail.
+            plan.fast = false;
+            plan.reason = "workload construction failed: " +
+                          made.status().message();
+        } else {
+            source = std::move(made).value();
+            grid.lineBytes = spec.base.lineBytes;
+            grid.write = spec.base.write;
+            grid.writeMiss = spec.base.writeMiss;
+            for (std::uint64_t value : spec.values) {
+                CacheConfig config = spec.base;
+                config.sizeBytes = value;
+                if (config.validate().ok())
+                    grid.addConfig(config);
+            }
+            if (grid.setCounts.empty()) {
+                plan.fast = false;
+                plan.reason = "no sweep value yields a valid "
+                              "geometry";
+            }
+        }
+    }
+    if (!plan.fast && spec.engine == GeometrySweep::Engine::StackSim)
+        throw StatusError(Status::invalidArgument(
+            "geometry sweep cannot use the stack-sim engine: ",
+            plan.reason));
+    noteSweepDispatch(plan.fast, plan.structural, plan.reason);
+
     std::vector<SweepPoint> samples(scenario.pointCount());
-    ResultTable table = runner.run(
-        scenario, {"hit_ratio", "miss_ratio", "flush_ratio"},
-        [&axis, &samples](const Point &point) {
-            const auto value = static_cast<std::uint64_t>(
-                okOrThrow(point.coord(axis)));
-            SweepPoint sample = evalGeometryPoint(point, value);
-            samples[point.index] = sample;
-            return sweepPointCells(sample);
-        });
+    ResultTable table;
+    if (plan.fast) {
+        // One trace traversal prices every point; the sharded run
+        // below only looks results up, so any invalid point still
+        // fails with the same status the per-point kernel's cache
+        // constructor raises and the merged table stays
+        // byte-identical at every thread count.
+        const GeometryHitSurface surface =
+            runStackSim(grid, *source, spec.refs, spec.warmupRefs);
+        table = runner.run(
+            scenario, {"hit_ratio", "miss_ratio", "flush_ratio"},
+            [&axis, &samples, &surface](const Point &point) {
+                const auto value = static_cast<std::uint64_t>(
+                    okOrThrow(point.coord(axis)));
+                okOrThrow(point.cache.validate());
+                const CacheRunResult run{
+                    point.cache,
+                    surface.stats(point.cache.numSets(),
+                                  point.cache.assoc)};
+                const SweepPoint sample{value, run.hitRatio(),
+                                        run.missRatio(),
+                                        run.flushRatio()};
+                samples[point.index] = sample;
+                return sweepPointCells(sample);
+            });
+    } else {
+        table = runner.run(
+            scenario, {"hit_ratio", "miss_ratio", "flush_ratio"},
+            [&axis, &samples](const Point &point) {
+                const auto value = static_cast<std::uint64_t>(
+                    okOrThrow(point.coord(axis)));
+                SweepPoint sample = evalGeometryPoint(point, value);
+                samples[point.index] = sample;
+                return sweepPointCells(sample);
+            });
+    }
     if (points)
         *points = std::move(samples);
     return table;

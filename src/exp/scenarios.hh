@@ -40,12 +40,28 @@ struct GeometrySweep
         Line, ///< vary CacheConfig::lineBytes
     };
 
+    /**
+     * Which kernel evaluates the sweep.  Auto picks the
+     * single-pass stack-distance engine (cache/stack_sim) whenever
+     * the sweep qualifies — size axis, LRU, write-allocate — and
+     * logs + counts the fallback otherwise (never silent; see
+     * sweepDispatchCounters()).  The merged ResultTable is
+     * byte-identical between the two engines at any thread count.
+     */
+    enum class Engine : std::uint8_t
+    {
+        Auto,     ///< stack-sim when eligible, else per-point
+        StackSim, ///< require the fast path; throws if ineligible
+        PerPoint, ///< force one simulation per grid point
+    };
+
     Axis axis = Axis::Size;
     CacheConfig base;
     WorkloadSpec workload;
     std::vector<std::uint64_t> values;
     std::uint64_t refs = 100000;
     std::uint64_t warmupRefs = 0;
+    Engine engine = Engine::Auto;
 };
 
 /** The sweep as a declarative scenario (one axis). */

@@ -67,6 +67,16 @@ StrideGenerator::clone() const
     return std::make_unique<StrideGenerator>(config_, initialRng_);
 }
 
+std::size_t
+StrideGenerator::fillBatch(MemoryReference *out,
+                           std::size_t max_refs)
+{
+    // Endless stream; the qualified call devirtualises next().
+    for (std::size_t i = 0; i < max_refs; ++i)
+        out[i] = *StrideGenerator::next();
+    return max_refs;
+}
+
 // --------------------------------------------------------------------
 // LoopNestGenerator
 // --------------------------------------------------------------------
@@ -138,6 +148,15 @@ LoopNestGenerator::clone() const
     return std::make_unique<LoopNestGenerator>(config_, initialRng_);
 }
 
+std::size_t
+LoopNestGenerator::fillBatch(MemoryReference *out,
+                             std::size_t max_refs)
+{
+    for (std::size_t i = 0; i < max_refs; ++i)
+        out[i] = *LoopNestGenerator::next();
+    return max_refs;
+}
+
 // --------------------------------------------------------------------
 // PointerChaseGenerator
 // --------------------------------------------------------------------
@@ -206,6 +225,15 @@ PointerChaseGenerator::clone() const
 {
     return std::make_unique<PointerChaseGenerator>(config_,
                                                    initialRng_);
+}
+
+std::size_t
+PointerChaseGenerator::fillBatch(MemoryReference *out,
+                                 std::size_t max_refs)
+{
+    for (std::size_t i = 0; i < max_refs; ++i)
+        out[i] = *PointerChaseGenerator::next();
+    return max_refs;
 }
 
 // --------------------------------------------------------------------
@@ -307,6 +335,15 @@ WorkingSetGenerator::clone() const
                                                  initialRng_);
 }
 
+std::size_t
+WorkingSetGenerator::fillBatch(MemoryReference *out,
+                               std::size_t max_refs)
+{
+    for (std::size_t i = 0; i < max_refs; ++i)
+        out[i] = *WorkingSetGenerator::next();
+    return max_refs;
+}
+
 // --------------------------------------------------------------------
 // PhaseMixGenerator
 // --------------------------------------------------------------------
@@ -345,6 +382,44 @@ PhaseMixGenerator::next()
         return ref;
     }
     return std::nullopt;
+}
+
+std::size_t
+PhaseMixGenerator::fillBatch(MemoryReference *out,
+                             std::size_t max_refs)
+{
+    std::size_t produced = 0;
+    // Phase visits since the last emitted reference; next() gives
+    // each reference at most phases_.size() of them, and matching
+    // that exactly keeps fillBatch equivalent to repeated next()
+    // even on quota boundaries and exhausted children.
+    std::size_t attempts = 0;
+    while (produced < max_refs && attempts < phases_.size()) {
+        Phase &phase = phases_[current_];
+        if (emitted_ >= phase.length) {
+            emitted_ = 0;
+            current_ = (current_ + 1) % phases_.size();
+            ++attempts;
+            continue;
+        }
+        const auto want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(phase.length - emitted_,
+                                    max_refs - produced));
+        const std::size_t got =
+            phase.source->fillBatch(out + produced, want);
+        produced += got;
+        emitted_ += got;
+        if (got > 0)
+            attempts = 0;
+        if (got < want) {
+            // Child exhausted mid-run: advance, like next() would
+            // on its next nullopt.
+            emitted_ = 0;
+            current_ = (current_ + 1) % phases_.size();
+            ++attempts;
+        }
+    }
+    return produced;
 }
 
 void

@@ -72,6 +72,8 @@ class StrideGenerator : public TraceSource
     std::optional<MemoryReference> next() override;
     void reset() override;
     std::unique_ptr<TraceSource> clone() const override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
   private:
     Config config_;
@@ -109,6 +111,8 @@ class LoopNestGenerator : public TraceSource
     std::optional<MemoryReference> next() override;
     void reset() override;
     std::unique_ptr<TraceSource> clone() const override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
   private:
     Config config_;
@@ -149,6 +153,8 @@ class PointerChaseGenerator : public TraceSource
     std::optional<MemoryReference> next() override;
     void reset() override;
     std::unique_ptr<TraceSource> clone() const override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
   private:
     Config config_;
@@ -194,6 +200,8 @@ class WorkingSetGenerator : public TraceSource
     std::optional<MemoryReference> next() override;
     void reset() override;
     std::unique_ptr<TraceSource> clone() const override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
   private:
     Config config_;
@@ -226,6 +234,8 @@ class PhaseMixGenerator : public TraceSource
 
     std::optional<MemoryReference> next() override;
     void reset() override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
     /** Clones every child from its beginning; nullptr when any
      *  child is itself uncloneable. */

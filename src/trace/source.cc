@@ -5,9 +5,25 @@
 
 #include "trace/source.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "util/logging.hh"
 
 namespace uatm {
+
+std::size_t
+TraceSource::fillBatch(MemoryReference *out, std::size_t max_refs)
+{
+    std::size_t produced = 0;
+    while (produced < max_refs) {
+        auto ref = next();
+        if (!ref)
+            break;
+        out[produced++] = *ref;
+    }
+    return produced;
+}
 
 std::vector<MemoryReference>
 TraceSource::drain(std::size_t max_refs)
@@ -74,6 +90,18 @@ Trace::clone() const
 {
     // The copy starts rewound whatever this instance's cursor says.
     return std::make_unique<Trace>(refs_);
+}
+
+std::size_t
+Trace::fillBatch(MemoryReference *out, std::size_t max_refs)
+{
+    const std::size_t available = refs_.size() - cursor_;
+    const std::size_t count = std::min(max_refs, available);
+    if (count > 0)
+        std::memcpy(out, refs_.data() + cursor_,
+                    count * sizeof(MemoryReference));
+    cursor_ += count;
+    return count;
 }
 
 LimitedSource::LimitedSource(TraceSource &source, std::uint64_t limit)

@@ -51,6 +51,18 @@ class TraceSource
     }
 
     /**
+     * Fill @p out with up to @p max_refs references, returning the
+     * number written — short only when the source is exhausted at
+     * that point.  Exactly equivalent to max_refs next() calls
+     * (the property suite holds every implementation to that), but
+     * overridable so hot consumers like the stack-distance engine
+     * skip the per-reference virtual call.  Mixing fillBatch and
+     * next() on one source is allowed.
+     */
+    virtual std::size_t fillBatch(MemoryReference *out,
+                                  std::size_t max_refs);
+
+    /**
      * Drain up to @p max_refs references into a vector.  Useful for
      * tests and for capturing a generator's output to disk.
      */
@@ -84,6 +96,8 @@ class Trace : public TraceSource
     std::optional<MemoryReference> next() override;
     void reset() override { cursor_ = 0; }
     std::unique_ptr<TraceSource> clone() const override;
+    std::size_t fillBatch(MemoryReference *out,
+                          std::size_t max_refs) override;
 
   private:
     std::vector<MemoryReference> refs_;

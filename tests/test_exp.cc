@@ -554,5 +554,101 @@ TEST(Scenarios, GeometryScenarioTablesByteIdenticalAcrossThreads)
     EXPECT_EQ(a, b);
 }
 
+// ------------------------------------ stack-sim engine dispatch
+
+TEST(Scenarios, StackSimAndPerPointEnginesAreByteIdentical)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Size;
+    spec.base.assoc = 2;
+    spec.base.lineBytes = 32;
+    spec.workload = WorkloadSpec::spec92("nasa7", 5);
+    // 5000 is not a power of two: an injected per-point fault that
+    // must degrade to the SAME error row under both engines.
+    spec.values = {4096, 5000, 8192, 32768};
+    spec.refs = 8000;
+    spec.warmupRefs = 800;
+
+    resetSweepDispatchStats();
+    std::string reference;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        GeometrySweep fast = spec;
+        fast.engine = GeometrySweep::Engine::Auto;
+        GeometrySweep brute = spec;
+        brute.engine = GeometrySweep::Engine::PerPoint;
+
+        Runner fast_runner(RunnerOptions{threads});
+        Runner brute_runner(RunnerOptions{threads});
+        const std::string a =
+            runGeometrySweep(fast, fast_runner).renderCsv();
+        const std::string b =
+            runGeometrySweep(brute, brute_runner).renderCsv();
+        EXPECT_EQ(a, b) << threads << " threads";
+        EXPECT_NE(a.find("!invalid_argument"), std::string::npos)
+            << a;
+        EXPECT_EQ(fast_runner.lastStats().pointsFailed, 1u);
+        EXPECT_EQ(brute_runner.lastStats().pointsFailed, 1u);
+
+        if (reference.empty())
+            reference = a;
+        else
+            EXPECT_EQ(a, reference) << threads << " threads";
+    }
+    const SweepDispatchCounters counters = sweepDispatchCounters();
+    EXPECT_EQ(counters.fastPath, 3u);
+    EXPECT_EQ(counters.perPoint, 3u);
+    EXPECT_EQ(counters.declined, 0u);
+    resetSweepDispatchStats();
+}
+
+TEST(Scenarios, DeclinedSweepFallsBackToIdenticalPerPointRun)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Size;
+    spec.base.assoc = 2;
+    spec.base.lineBytes = 32;
+    spec.base.replacement = ReplacementKind::FIFO; // ineligible
+    spec.workload = WorkloadSpec::spec92("ear", 9);
+    spec.values = {4096, 16384};
+    spec.refs = 5000;
+
+    resetSweepDispatchStats();
+    GeometrySweep brute = spec;
+    brute.engine = GeometrySweep::Engine::PerPoint;
+    Runner a(RunnerOptions{2});
+    Runner b(RunnerOptions{2});
+    EXPECT_EQ(runGeometrySweep(spec, a).renderCsv(),
+              runGeometrySweep(brute, b).renderCsv());
+    const SweepDispatchCounters counters = sweepDispatchCounters();
+    EXPECT_EQ(counters.declined, 1u); // logged, counted, not silent
+    EXPECT_EQ(counters.perPoint, 1u);
+    resetSweepDispatchStats();
+}
+
+TEST(Scenarios, ForcedStackSimThrowsWhenIneligible)
+{
+    GeometrySweep spec;
+    spec.axis = GeometrySweep::Axis::Size;
+    spec.base.replacement = ReplacementKind::FIFO;
+    spec.workload = WorkloadSpec::spec92("nasa7", 1);
+    spec.values = {4096, 8192};
+    spec.refs = 1000;
+    spec.engine = GeometrySweep::Engine::StackSim;
+
+    Runner runner(RunnerOptions{1});
+    EXPECT_THROW(runGeometrySweep(spec, runner), StatusError);
+
+    // The line axis is structurally per-point, so forcing the
+    // stack engine on it must also refuse.
+    GeometrySweep line;
+    line.axis = GeometrySweep::Axis::Line;
+    line.workload = WorkloadSpec::spec92("nasa7", 1);
+    line.values = {16, 32};
+    line.refs = 1000;
+    line.engine = GeometrySweep::Engine::StackSim;
+    EXPECT_THROW(runGeometrySweep(line, runner), StatusError);
+    resetSweepDispatchStats();
+}
+
 } // namespace
 } // namespace uatm::exp

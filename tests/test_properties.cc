@@ -14,16 +14,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <list>
+#include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "cache/cache.hh"
+#include "cache/stack_sim.hh"
 #include "core/execution_time.hh"
 #include "core/tradeoff.hh"
 #include "cpu/phi_measurement.hh"
 #include "linesize/line_tradeoff.hh"
 #include "memory/write_buffer.hh"
 #include "trace/generators.hh"
+#include "trace/ifetch.hh"
+#include "trace/transform.hh"
 
 namespace uatm {
 namespace {
@@ -446,6 +453,311 @@ INSTANTIATE_TEST_SUITE_P(
     Profiles, FeatureLadder,
     ::testing::Values("nasa7", "swm256", "wave5", "ear", "doduc",
                       "hydro2d"));
+
+// ==================================================================
+// LRU inclusion across the geometry grid (stack engine)
+// ==================================================================
+
+class LruInclusion
+    : public ::testing::TestWithParam<std::uint64_t /*seed*/>
+{
+};
+
+TEST_P(LruInclusion, HitsNondecreasingInAssocAtFixedSets)
+{
+    // Mattson inclusion: at a fixed set count, a wider LRU cache
+    // holds a superset of a narrower one at every instant, so
+    // hits must be monotone in associativity.  This is exact for
+    // ANY workload, so use a fresh random one per seed.
+    WorkingSetGenerator::Config ws;
+    Rng rng(GetParam() * 7919 + 5);
+    ws.stackDepth = 16 + rng.nextBelow(600);
+    ws.decay = 0.9 + rng.nextDouble() * 0.09;
+    ws.coldFraction = rng.nextDouble() * 0.1;
+    ws.storeFraction = rng.nextDouble() * 0.5;
+    WorkingSetGenerator gen(ws, rng.fork());
+
+    GeometryGrid grid;
+    grid.setCounts = {1, 8, 64};
+    grid.assocs = {1, 2, 4, 8, 16};
+    const GeometryHitSurface surface =
+        runStackSim(grid, gen, 6000);
+
+    for (std::uint64_t sets : grid.setCounts) {
+        std::uint64_t previous = 0;
+        for (std::uint32_t assoc : {1u, 2u, 4u, 8u, 16u}) {
+            const std::uint64_t hits =
+                surface.stats(sets, assoc).hits;
+            EXPECT_GE(hits, previous)
+                << sets << " sets, " << assoc << "-way";
+            previous = hits;
+        }
+    }
+}
+
+TEST_P(LruInclusion, HitsNondecreasingInSizeAtFixedAssoc)
+{
+    // Growing the cache by adding sets is NOT covered by the
+    // inclusion theorem (set splitting can evict differently),
+    // but it holds for these stack-friendly reuse workloads and
+    // pins the expected Fig. 6-style monotone size curves.
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 400;
+    ws.decay = 0.985;
+    ws.coldFraction = 0.03;
+    ws.storeFraction = 0.3;
+    WorkingSetGenerator gen(ws, Rng(GetParam() * 131 + 17));
+
+    GeometryGrid grid;
+    grid.setCounts = {8, 32, 128, 512};
+    grid.assocs = {1, 2, 4};
+    const GeometryHitSurface surface =
+        runStackSim(grid, gen, 6000);
+
+    for (std::uint32_t assoc : grid.assocs) {
+        std::uint64_t previous = 0;
+        for (std::uint64_t sets : grid.setCounts) {
+            const std::uint64_t hits =
+                surface.stats(sets, assoc).hits;
+            EXPECT_GE(hits, previous)
+                << sets << " sets, " << assoc << "-way";
+            previous = hits;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruInclusion,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ==================================================================
+// fillBatch == repeated next() for every trace source
+// ==================================================================
+
+struct BatchCase
+{
+    const char *name;
+    std::function<std::unique_ptr<TraceSource>()> make;
+};
+
+std::unique_ptr<TraceSource>
+batchWorkingSet(std::uint64_t seed)
+{
+    WorkingSetGenerator::Config ws;
+    ws.stackDepth = 100;
+    ws.storeFraction = 0.4;
+    return std::make_unique<WorkingSetGenerator>(ws, Rng(seed));
+}
+
+std::vector<MemoryReference>
+makeFiniteRefs(std::size_t count)
+{
+    std::vector<MemoryReference> refs;
+    Rng rng(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        MemoryReference ref;
+        ref.size = 4;
+        ref.addr = alignDown(rng.nextBelow(1 << 16), ref.size);
+        ref.gap =
+            static_cast<std::uint32_t>(rng.nextBelow(4));
+        ref.kind =
+            rng.nextBool(0.3) ? RefKind::Store : RefKind::Load;
+        refs.push_back(ref);
+    }
+    return refs;
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchCase>
+{
+  protected:
+    static void
+    expectSameRef(const MemoryReference &a,
+                  const MemoryReference &b, std::size_t at)
+    {
+        ASSERT_EQ(a.addr, b.addr) << "ref " << at;
+        ASSERT_EQ(a.size, b.size) << "ref " << at;
+        ASSERT_EQ(a.kind, b.kind) << "ref " << at;
+        ASSERT_EQ(a.gap, b.gap) << "ref " << at;
+    }
+};
+
+TEST_P(BatchEquivalence, FillBatchMatchesNext)
+{
+    constexpr std::size_t kRefs = 1800;
+    // Reference stream: one next() at a time.
+    auto by_next = GetParam().make();
+    std::vector<MemoryReference> expected;
+    for (std::size_t i = 0; i < kRefs; ++i) {
+        const auto ref = by_next->next();
+        if (!ref)
+            break;
+        expected.push_back(*ref);
+    }
+
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{64}, std::size_t{1000}}) {
+        auto by_batch = GetParam().make();
+        std::vector<MemoryReference> got(kRefs);
+        std::size_t filled = 0;
+        while (filled < kRefs) {
+            const std::size_t want =
+                std::min(batch, kRefs - filled);
+            const std::size_t n =
+                by_batch->fillBatch(got.data() + filled, want);
+            filled += n;
+            if (n < want) // exhausted exactly like next()
+                break;
+        }
+        got.resize(filled);
+        ASSERT_EQ(got.size(), expected.size())
+            << GetParam().name << " batch " << batch;
+        for (std::size_t i = 0; i < got.size(); ++i)
+            expectSameRef(got[i], expected[i], i);
+    }
+}
+
+TEST_P(BatchEquivalence, MixedNextAndBatchMatches)
+{
+    constexpr std::size_t kRefs = 1200;
+    auto by_next = GetParam().make();
+    std::vector<MemoryReference> expected;
+    for (std::size_t i = 0; i < kRefs; ++i) {
+        const auto ref = by_next->next();
+        if (!ref)
+            break;
+        expected.push_back(*ref);
+    }
+
+    // Alternate single next() calls with odd-sized batches on the
+    // SAME source: the contract allows mixing freely.
+    auto mixed = GetParam().make();
+    std::vector<MemoryReference> got;
+    MemoryReference buffer[37];
+    bool exhausted = false;
+    while (got.size() < kRefs && !exhausted) {
+        if (got.size() % 3 == 0) {
+            const auto ref = mixed->next();
+            if (!ref) {
+                exhausted = true;
+                break;
+            }
+            got.push_back(*ref);
+        } else {
+            const std::size_t want = std::min<std::size_t>(
+                37, kRefs - got.size());
+            const std::size_t n = mixed->fillBatch(buffer, want);
+            got.insert(got.end(), buffer, buffer + n);
+            exhausted = n < want;
+        }
+    }
+    if (got.size() > expected.size())
+        got.resize(expected.size());
+    ASSERT_EQ(got.size(), expected.size()) << GetParam().name;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        expectSameRef(got[i], expected[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, BatchEquivalence,
+    ::testing::Values(
+        BatchCase{"trace",
+                  [] {
+                      return std::make_unique<Trace>(
+                          makeFiniteRefs(700));
+                  }},
+        BatchCase{"stride",
+                  [] {
+                      StrideGenerator::Config cfg;
+                      cfg.elements = 500;
+                      cfg.strideBytes = 16;
+                      return std::make_unique<StrideGenerator>(
+                          cfg, Rng(3));
+                  }},
+        BatchCase{"loop_nest",
+                  [] {
+                      LoopNestGenerator::Config cfg;
+                      cfg.rows = 20;
+                      cfg.cols = 17;
+                      return std::make_unique<LoopNestGenerator>(
+                          cfg, Rng(4));
+                  }},
+        BatchCase{"pointer_chase",
+                  [] {
+                      PointerChaseGenerator::Config cfg;
+                      cfg.nodes = 500;
+                      return std::make_unique<
+                          PointerChaseGenerator>(cfg, Rng(5));
+                  }},
+        BatchCase{"working_set", [] { return batchWorkingSet(6); }},
+        BatchCase{"phase_mix",
+                  [] {
+                      std::vector<PhaseMixGenerator::Phase> phases;
+                      phases.push_back(PhaseMixGenerator::Phase{
+                          batchWorkingSet(7), 90});
+                      phases.push_back(PhaseMixGenerator::Phase{
+                          batchWorkingSet(8), 41});
+                      return std::make_unique<PhaseMixGenerator>(
+                          std::move(phases));
+                  }},
+        BatchCase{"phase_mix_finite",
+                  [] {
+                      // Finite children: exercises the quota /
+                      // exhaustion interplay in batched mode.
+                      std::vector<PhaseMixGenerator::Phase> phases;
+                      phases.push_back(PhaseMixGenerator::Phase{
+                          std::make_unique<Trace>(
+                              makeFiniteRefs(130)),
+                          40});
+                      phases.push_back(PhaseMixGenerator::Phase{
+                          std::make_unique<Trace>(
+                              makeFiniteRefs(57)),
+                          25});
+                      return std::make_unique<PhaseMixGenerator>(
+                          std::move(phases));
+                  }},
+        BatchCase{"offset",
+                  [] {
+                      return std::make_unique<OffsetSource>(
+                          batchWorkingSet(9), 1 << 20);
+                  }},
+        BatchCase{"sample",
+                  [] {
+                      return std::make_unique<SampleSource>(
+                          batchWorkingSet(10), 3);
+                  }},
+        BatchCase{"kind_filter",
+                  [] {
+                      return std::make_unique<KindFilterSource>(
+                          batchWorkingSet(11), true, false, true);
+                  }},
+        BatchCase{"time_slice",
+                  [] {
+                      std::vector<std::unique_ptr<TraceSource>>
+                          programs;
+                      programs.push_back(batchWorkingSet(12));
+                      programs.push_back(batchWorkingSet(13));
+                      return std::make_unique<TimeSliceSource>(
+                          std::move(programs), 70);
+                  }},
+        BatchCase{"ifetch",
+                  [] {
+                      return std::make_unique<IFetchGenerator>(
+                          IFetchConfig{}, Rng(14));
+                  }},
+        BatchCase{"ifetch_interleaved",
+                  [] {
+                      return std::make_unique<IFetchInterleaver>(
+                          batchWorkingSet(15), IFetchConfig{},
+                          Rng(16));
+                  }},
+        BatchCase{"spec92",
+                  [] {
+                      return Spec92Profile::make("nasa7", 21);
+                  }},
+        BatchCase{"short_levy",
+                  [] { return ShortLevyWorkload::make(22); }}),
+    [](const auto &info) {
+        return std::string(info.param.name);
+    });
 
 } // namespace
 } // namespace uatm

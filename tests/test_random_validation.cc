@@ -13,12 +13,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
+#include "cache/stack_sim.hh"
+#include "cache/sweep.hh"
 #include "core/execution_time.hh"
 #include "core/tradeoff.hh"
 #include "cpu/timing_engine.hh"
 #include "linesize/line_tradeoff.hh"
 #include "trace/generators.hh"
+#include "trace/ifetch.hh"
+#include "trace/transform.hh"
 
 namespace uatm {
 namespace {
@@ -174,6 +180,204 @@ TEST_P(RandomValidation, BookkeepingClosesOnRandomTraces)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomValidation,
                          ::testing::Range<std::uint64_t>(1, 26));
+
+// ==================================================================
+// Differential validation of the single-pass stack engine:
+// random workloads drawn from every generator, the transform
+// stack, the instruction-fetch interleaver and recorded traces,
+// checked cell by cell against per-geometry SetAssocCache runs
+// (via runCacheSim, so warmup and cold-tracking semantics are
+// exercised too).  Every CacheStats field must agree EXACTLY.
+// ==================================================================
+
+class StackSimDifferential
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Rng rng_{GetParam() * 0x2545f4914f6cdd1dull + 99};
+
+    std::unique_ptr<TraceSource>
+    workingSet(std::uint32_t access_size)
+    {
+        WorkingSetGenerator::Config ws;
+        ws.stackDepth = 32 + rng_.nextBelow(400);
+        ws.decay = 0.9 + rng_.nextDouble() * 0.09;
+        ws.coldFraction = rng_.nextDouble() * 0.08;
+        ws.storeFraction = rng_.nextDouble() * 0.5;
+        ws.accessSize = access_size;
+        return std::make_unique<WorkingSetGenerator>(ws,
+                                                     rng_.fork());
+    }
+
+    /** One random workload from the full supported palette. */
+    std::unique_ptr<TraceSource>
+    makeWorkload()
+    {
+        switch (rng_.nextBelow(9)) {
+        case 0: {
+            StrideGenerator::Config cfg;
+            cfg.elements = 64 + rng_.nextBelow(2000);
+            cfg.strideBytes =
+                static_cast<std::int64_t>(4u << rng_.nextBelow(4));
+            cfg.elemSize = 4;
+            cfg.storeFraction = rng_.nextDouble() * 0.5;
+            return std::make_unique<StrideGenerator>(cfg,
+                                                     rng_.fork());
+        }
+        case 1: {
+            LoopNestGenerator::Config cfg;
+            cfg.rows = 8 + rng_.nextBelow(40);
+            cfg.cols = 8 + rng_.nextBelow(40);
+            cfg.elemSize = 8;
+            cfg.rowMajor = rng_.nextBool(0.5);
+            return std::make_unique<LoopNestGenerator>(cfg,
+                                                       rng_.fork());
+        }
+        case 2: {
+            PointerChaseGenerator::Config cfg;
+            cfg.nodes = 64 + rng_.nextBelow(4000);
+            cfg.accessSize = 8;
+            cfg.storeFraction = rng_.nextDouble() * 0.4;
+            cfg.fieldsPerVisit =
+                1 + static_cast<std::uint32_t>(rng_.nextBelow(3));
+            return std::make_unique<PointerChaseGenerator>(
+                cfg, rng_.fork());
+        }
+        case 3:
+            return workingSet(rng_.nextBool(0.5) ? 4 : 8);
+        case 4: {
+            std::vector<PhaseMixGenerator::Phase> phases;
+            const std::size_t n = 1 + rng_.nextBelow(3);
+            for (std::size_t i = 0; i < n; ++i)
+                phases.push_back(PhaseMixGenerator::Phase{
+                    workingSet(4), 50 + rng_.nextBelow(400)});
+            return std::make_unique<PhaseMixGenerator>(
+                std::move(phases));
+        }
+        case 5: {
+            // Transform stack: offset + sampling.
+            auto inner = std::make_unique<SampleSource>(
+                workingSet(4),
+                2 + static_cast<std::uint32_t>(rng_.nextBelow(4)));
+            return std::make_unique<OffsetSource>(
+                std::move(inner),
+                static_cast<std::int64_t>(rng_.nextBelow(1 << 20)) &
+                    ~63ll);
+        }
+        case 6: {
+            // Two time-sliced programs, one load-filtered.
+            std::vector<std::unique_ptr<TraceSource>> programs;
+            programs.push_back(std::make_unique<OffsetSource>(
+                workingSet(4), 1 << 22));
+            programs.push_back(std::make_unique<KindFilterSource>(
+                workingSet(8), true, false, true));
+            return std::make_unique<TimeSliceSource>(
+                std::move(programs), 100 + rng_.nextBelow(300));
+        }
+        case 7: {
+            IFetchConfig cfg;
+            return std::make_unique<IFetchInterleaver>(
+                workingSet(4), cfg, rng_.fork());
+        }
+        default: {
+            // A recorded trace, sometimes shorter than the run.
+            std::vector<MemoryReference> refs;
+            const std::size_t count = 800 + rng_.nextBelow(4000);
+            Rng addr_rng = rng_.fork();
+            for (std::size_t i = 0; i < count; ++i) {
+                MemoryReference ref;
+                ref.size = addr_rng.nextBool(0.5) ? 4 : 8;
+                ref.addr = alignDown(
+                    addr_rng.nextBelow(1u << 18), ref.size);
+                ref.gap = static_cast<std::uint32_t>(
+                    addr_rng.nextBelow(5));
+                ref.kind = addr_rng.nextBool(0.35)
+                               ? RefKind::Store
+                               : RefKind::Load;
+                refs.push_back(ref);
+            }
+            return std::make_unique<Trace>(std::move(refs));
+        }
+        }
+    }
+};
+
+TEST_P(StackSimDifferential, SurfaceEqualsPerGeometryRuns)
+{
+    const std::uint32_t line = 16u << rng_.nextBelow(3);
+    const WritePolicy write = rng_.nextBool(0.3)
+                                  ? WritePolicy::WriteThrough
+                                  : WritePolicy::WriteBack;
+
+    std::vector<CacheConfig> configs;
+    for (std::uint64_t size_lines : {16ull, 64ull, 256ull}) {
+        for (std::uint32_t assoc : {1u, 2u, 4u}) {
+            CacheConfig config;
+            config.sizeBytes = size_lines * line;
+            config.assoc = assoc;
+            config.lineBytes = line;
+            config.write = write;
+            ASSERT_TRUE(config.validate().ok());
+            configs.push_back(config);
+        }
+    }
+    // Fully associative single-set cache: the inclusion property's
+    // boundary case (stack distance == global recency rank).
+    CacheConfig full;
+    full.sizeBytes = 16ull * line;
+    full.assoc = 16;
+    full.lineBytes = line;
+    full.write = write;
+    ASSERT_EQ(full.numSets(), 1u);
+    configs.push_back(full);
+
+    GeometryGrid grid;
+    grid.lineBytes = line;
+    grid.write = write;
+    for (const CacheConfig &config : configs)
+        grid.addConfig(config);
+
+    const std::uint64_t refs = 3000;
+    const std::uint64_t warmup =
+        rng_.nextBool(0.5) ? 200 + rng_.nextBelow(500) : 0;
+
+    auto source = makeWorkload();
+    const GeometryHitSurface surface =
+        runStackSim(grid, *source, refs, warmup);
+
+    for (const CacheConfig &config : configs) {
+        // runCacheSim resets the source, so both passes and every
+        // geometry see the identical reference stream.
+        const CacheRunResult run =
+            runCacheSim(config, *source, refs, warmup);
+        const auto cell = surface.statsFor(config);
+        ASSERT_TRUE(cell.ok()) << config.describe();
+        const CacheStats &got = cell.value();
+        const CacheStats &want = run.stats;
+        const std::string label = config.describe();
+        EXPECT_EQ(got.accesses, want.accesses) << label;
+        EXPECT_EQ(got.loads, want.loads) << label;
+        EXPECT_EQ(got.stores, want.stores) << label;
+        EXPECT_EQ(got.hits, want.hits) << label;
+        EXPECT_EQ(got.misses, want.misses) << label;
+        EXPECT_EQ(got.loadMisses, want.loadMisses) << label;
+        EXPECT_EQ(got.storeMisses, want.storeMisses) << label;
+        EXPECT_EQ(got.fills, want.fills) << label;
+        EXPECT_EQ(got.writebacks, want.writebacks) << label;
+        EXPECT_EQ(got.storesToMemory, want.storesToMemory)
+            << label;
+        EXPECT_EQ(got.storesToMemoryBytes,
+                  want.storesToMemoryBytes)
+            << label;
+        EXPECT_EQ(got.coldMisses, want.coldMisses) << label;
+        EXPECT_EQ(got.prefetchInserts, want.prefetchInserts)
+            << label;
+        EXPECT_EQ(got.instructions, want.instructions) << label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackSimDifferential,
+                         ::testing::Range<std::uint64_t>(1, 25));
 
 } // namespace
 } // namespace uatm

@@ -17,11 +17,20 @@
  *                      counts or per-benchmark thread configs
  *                      differ (normally a refusal: the numbers
  *                      measure different parallel setups)
+ *     --require-speedup=<slow>:<fast>:<min>
+ *                      assert median(slow) / median(fast) >= min
+ *                      within the AFTER record (repeatable).  With
+ *                      this flag a single json argument is also
+ *                      accepted: only the speedup gates run.
+ *                      Gates intra-record invariants like "the
+ *                      single-pass sweep engine beats brute force
+ *                      by 3x" that a before/after diff cannot see.
  *
  * Exit status: 0 = no regressions, 1 = at least one benchmark
- * regressed, 2 = bad usage, unreadable/unparsable input, or
- * incomparable thread configurations.  The exact CI invocation is
- * documented in docs/OBSERVABILITY.md.
+ * regressed or a required speedup not met, 2 = bad usage,
+ * unreadable/unparsable input, or incomparable thread
+ * configurations.  The exact CI invocation is documented in
+ * docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
@@ -40,9 +49,78 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--report-only] [--sigmas=<s>] "
         "[--min-rel=<f>] [--no-drift-norm] [--ignore-threads] "
-        "<before.json> <after.json>\n",
+        "[--require-speedup=<slow>:<fast>:<min>] "
+        "[<before.json>] <after.json>\n",
         argv0);
     return 2;
+}
+
+/** One --require-speedup assertion: slow vs fast benchmark. */
+struct SpeedupGate
+{
+    std::string slow;
+    std::string fast;
+    double min = 0.0;
+};
+
+/** Median ns/rep of the named benchmark, or -1 when absent. */
+double
+benchMedian(const uatm::obs::JsonValue &doc,
+            const std::string &name)
+{
+    const auto *benchmarks = doc.find("benchmarks");
+    if (!benchmarks)
+        return -1.0;
+    for (const auto &bench : benchmarks->items()) {
+        if (bench.stringOr("name", "") != name)
+            continue;
+        const auto *ns = bench.find("ns_per_rep");
+        return ns ? ns->numberOr("median", -1.0) : -1.0;
+    }
+    return -1.0;
+}
+
+/** Benchmark names never contain ':', so the spec splits cleanly
+ *  into slow:fast:min.  Returns false on malformed input. */
+bool
+parseSpeedupGate(const std::string &spec, SpeedupGate &gate)
+{
+    const std::size_t first = spec.find(':');
+    const std::size_t last = spec.rfind(':');
+    if (first == std::string::npos || first == last)
+        return false;
+    gate.slow = spec.substr(0, first);
+    gate.fast = spec.substr(first + 1, last - first - 1);
+    gate.min = std::atof(spec.c_str() + last + 1);
+    return !gate.slow.empty() && !gate.fast.empty() &&
+           gate.min > 0.0;
+}
+
+/** Evaluate every gate against @p doc; true when all hold. */
+bool
+checkSpeedupGates(const uatm::obs::JsonValue &doc,
+                  const std::vector<SpeedupGate> &gates)
+{
+    bool ok = true;
+    for (const SpeedupGate &gate : gates) {
+        const double slow = benchMedian(doc, gate.slow);
+        const double fast = benchMedian(doc, gate.fast);
+        if (slow <= 0.0 || fast <= 0.0) {
+            std::fprintf(stderr,
+                         "perf_diff: speedup gate '%s' vs '%s': "
+                         "benchmark missing from the record\n",
+                         gate.slow.c_str(), gate.fast.c_str());
+            ok = false;
+            continue;
+        }
+        const double ratio = slow / fast;
+        std::printf("speedup gate: %s / %s = %.2fx "
+                    "(required >= %.2fx): %s\n",
+                    gate.slow.c_str(), gate.fast.c_str(), ratio,
+                    gate.min, ratio >= gate.min ? "ok" : "FAIL");
+        ok = ok && ratio >= gate.min;
+    }
+    return ok;
 }
 
 } // namespace
@@ -55,6 +133,7 @@ main(int argc, char **argv)
     obs::PerfDiffOptions options;
     bool report_only = false;
     bool ignore_threads = false;
+    std::vector<SpeedupGate> gates;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -63,6 +142,16 @@ main(int argc, char **argv)
             report_only = true;
         } else if (arg == "--ignore-threads") {
             ignore_threads = true;
+        } else if (arg.rfind("--require-speedup=", 0) == 0) {
+            SpeedupGate gate;
+            if (!parseSpeedupGate(arg.substr(18), gate)) {
+                std::fprintf(stderr,
+                             "perf_diff: invalid "
+                             "--require-speedup spec '%s'\n",
+                             arg.c_str() + 18);
+                return 2;
+            }
+            gates.push_back(std::move(gate));
         } else if (arg == "--no-drift-norm") {
             options.normalizeDrift = false;
         } else if (arg.rfind("--sigmas=", 0) == 0) {
@@ -88,6 +177,18 @@ main(int argc, char **argv)
         } else {
             files.push_back(arg);
         }
+    }
+    if (files.size() == 1 && !gates.empty()) {
+        // Gate-only mode: intra-record speedup assertions.
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::loadBenchFile(files[0], doc, error)) {
+            std::fprintf(stderr, "perf_diff: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        const bool ok = checkSpeedupGates(doc, gates);
+        return (!ok && !report_only) ? 1 : 0;
     }
     if (files.size() != 2)
         return usage(argv[0]);
@@ -143,6 +244,12 @@ main(int argc, char **argv)
     std::printf("\n");
     std::fputs(obs::formatPerfTable(deltas).c_str(), stdout);
 
+    bool gates_ok = true;
+    if (!gates.empty()) {
+        std::printf("\n");
+        gates_ok = checkSpeedupGates(after, gates);
+    }
+
     const std::size_t regressions =
         obs::countRegressions(deltas);
     if (regressions > 0) {
@@ -154,5 +261,6 @@ main(int argc, char **argv)
     } else {
         std::printf("\nno regressions\n");
     }
-    return (regressions > 0 && !report_only) ? 1 : 0;
+    return ((regressions > 0 || !gates_ok) && !report_only) ? 1
+                                                            : 0;
 }
