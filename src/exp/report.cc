@@ -24,8 +24,12 @@ diagnoseRun(const RunnerTelemetry &telemetry, std::size_t topK)
     d.parallelEfficiency = telemetry.parallelEfficiency();
 
     d.workerUtilization.reserve(telemetry.workers.size());
-    for (const auto &worker : telemetry.workers)
+    d.workerCounters.reserve(telemetry.workers.size());
+    for (const auto &worker : telemetry.workers) {
         d.workerUtilization.push_back(worker.utilization());
+        d.workerCounters.push_back(worker.counters);
+        d.countersAvailable |= worker.counters.available;
+    }
 
     d.slowestPoints = telemetry.points;
     std::stable_sort(d.slowestPoints.begin(),
@@ -157,6 +161,61 @@ formatDiagnosis(const RunDiagnosis &diagnosis)
             << "] " << percent(u) << " busy\n";
     }
 
+    if (diagnosis.countersAvailable) {
+        using obs::PerfEvent;
+        out << "  hardware counters "
+               "(multiplexing-corrected):\n";
+        for (std::size_t i = 0;
+             i < diagnosis.workerCounters.size(); ++i) {
+            const obs::PerfCounterValues &c =
+                diagnosis.workerCounters[i];
+            out << "    worker " << std::setw(2) << i;
+            if (!c.available) {
+                out << "  (unavailable)\n";
+                continue;
+            }
+            if (c.has(PerfEvent::Instructions) &&
+                c.has(PerfEvent::Cycles)) {
+                const double ipc = c.ipc();
+                // 2.0 IPC spans the 20-cell bar: commodity cores
+                // rarely sustain more on this kind of code.
+                const int cells = std::clamp(
+                    static_cast<int>(ipc * 10.0 + 0.5), 0, 20);
+                out << "  ipc " << std::fixed
+                    << std::setprecision(2) << ipc << " ["
+                    << std::string(
+                           static_cast<std::size_t>(cells), '#')
+                    << std::string(
+                           static_cast<std::size_t>(20 - cells),
+                           '.')
+                    << "]";
+            }
+            if (c.has(PerfEvent::CacheMisses) &&
+                c.has(PerfEvent::CacheReferences)) {
+                out << "  miss " << percent(c.cacheMissRate());
+            }
+            if (c.has(PerfEvent::CacheMisses) &&
+                c.has(PerfEvent::Instructions)) {
+                out << "  mpki " << std::fixed
+                    << std::setprecision(2)
+                    << c.missesPerKiloInstruction();
+            }
+            if (c.has(PerfEvent::CpuMigrations)) {
+                out << "  migr " << std::setprecision(0)
+                    << c.get(PerfEvent::CpuMigrations);
+            }
+            if (c.has(PerfEvent::ContextSwitches)) {
+                out << "  ctx " << std::setprecision(0)
+                    << c.get(PerfEvent::ContextSwitches);
+            }
+            if (c.multiplexScale() > 1.01) {
+                out << "  (x" << std::setprecision(2)
+                    << c.multiplexScale() << " multiplexed)";
+            }
+            out << "\n";
+        }
+    }
+
     if (!diagnosis.slowestPoints.empty()) {
         out << "  slowest points:\n";
         for (const auto &point : diagnosis.slowestPoints) {
@@ -169,6 +228,194 @@ formatDiagnosis(const RunDiagnosis &diagnosis)
             out << "\n";
         }
     }
+    return out.str();
+}
+
+CounterScaling
+analyzeCounterScaling(const std::vector<RunnerTelemetry> &runs)
+{
+    using obs::PerfEvent;
+    CounterScaling scaling;
+
+    // Aggregate each run's worker counters, then average runs at
+    // the same thread count so reruns do not skew the trend.
+    std::map<unsigned, std::vector<CounterScalingPoint>>
+        byThreads;
+    for (const RunnerTelemetry &run : runs) {
+        double instructions = 0.0, cycles = 0.0;
+        double misses = 0.0, migrations = 0.0, ctx = 0.0;
+        bool hasInstr = false, hasCycles = false;
+        bool hasMisses = false, hasMigr = false, hasCtx = false;
+        for (const WorkerTelemetry &worker : run.workers) {
+            const obs::PerfCounterValues &c = worker.counters;
+            if (!c.available)
+                continue;
+            if (c.has(PerfEvent::Instructions)) {
+                instructions += c.get(PerfEvent::Instructions);
+                hasInstr = true;
+            }
+            if (c.has(PerfEvent::Cycles)) {
+                cycles += c.get(PerfEvent::Cycles);
+                hasCycles = true;
+            }
+            if (c.has(PerfEvent::CacheMisses)) {
+                misses += c.get(PerfEvent::CacheMisses);
+                hasMisses = true;
+            }
+            if (c.has(PerfEvent::CpuMigrations)) {
+                migrations += c.get(PerfEvent::CpuMigrations);
+                hasMigr = true;
+            }
+            if (c.has(PerfEvent::ContextSwitches)) {
+                ctx += c.get(PerfEvent::ContextSwitches);
+                hasCtx = true;
+            }
+        }
+        if (!(hasInstr || hasCycles || hasMisses || hasMigr ||
+              hasCtx))
+            continue;
+        CounterScalingPoint point;
+        point.threads =
+            run.threadsUsed == 0 ? 1 : run.threadsUsed;
+        if (hasInstr && hasCycles && cycles > 0.0) {
+            point.ipc = instructions / cycles;
+            point.hasIpc = true;
+        }
+        if (hasMisses && hasInstr && instructions > 0.0) {
+            point.mpki = misses * 1000.0 / instructions;
+            point.hasMpki = true;
+        }
+        if (hasMigr && !run.workers.empty()) {
+            point.migrationsPerWorker =
+                migrations /
+                static_cast<double>(run.workers.size());
+            point.hasMigrations = true;
+        }
+        if (hasCtx && run.wallNs > 0) {
+            point.ctxSwitchesPerSecond =
+                ctx * 1e9 / static_cast<double>(run.wallNs);
+            point.hasCtxSwitches = true;
+        }
+        byThreads[point.threads].push_back(point);
+    }
+
+    for (const auto &[threads, group] : byThreads) {
+        CounterScalingPoint avg;
+        avg.threads = threads;
+        int nIpc = 0, nMpki = 0, nMigr = 0, nCtx = 0;
+        for (const CounterScalingPoint &p : group) {
+            if (p.hasIpc) {
+                avg.ipc += p.ipc;
+                ++nIpc;
+            }
+            if (p.hasMpki) {
+                avg.mpki += p.mpki;
+                ++nMpki;
+            }
+            if (p.hasMigrations) {
+                avg.migrationsPerWorker +=
+                    p.migrationsPerWorker;
+                ++nMigr;
+            }
+            if (p.hasCtxSwitches) {
+                avg.ctxSwitchesPerSecond +=
+                    p.ctxSwitchesPerSecond;
+                ++nCtx;
+            }
+        }
+        if (nIpc) {
+            avg.ipc /= nIpc;
+            avg.hasIpc = true;
+        }
+        if (nMpki) {
+            avg.mpki /= nMpki;
+            avg.hasMpki = true;
+        }
+        if (nMigr) {
+            avg.migrationsPerWorker /= nMigr;
+            avg.hasMigrations = true;
+        }
+        if (nCtx) {
+            avg.ctxSwitchesPerSecond /= nCtx;
+            avg.hasCtxSwitches = true;
+        }
+        scaling.points.push_back(avg);
+    }
+    if (scaling.points.empty()) {
+        scaling.verdict =
+            "no hardware counters recorded (perf unavailable "
+            "or pre-v2 telemetry)";
+        return scaling;
+    }
+    scaling.ok = true;
+
+    const CounterScalingPoint &lo = scaling.points.front();
+    const CounterScalingPoint &hi = scaling.points.back();
+    if (scaling.points.size() >= 2 && lo.hasIpc && hi.hasIpc &&
+        lo.hasMpki && hi.hasMpki && lo.mpki > 0.0 &&
+        lo.ipc > 0.0) {
+        scaling.falseSharingSuspected =
+            hi.mpki > 1.3 * lo.mpki && hi.ipc < 0.85 * lo.ipc;
+    }
+    scaling.migrationHeavy =
+        hi.hasMigrations && hi.migrationsPerWorker > 10.0;
+    scaling.contextSwitchHeavy =
+        hi.hasCtxSwitches && hi.ctxSwitchesPerSecond > 500.0;
+
+    std::ostringstream verdict;
+    if (scaling.falseSharingSuspected) {
+        verdict << "false sharing suspected: misses/kilo-instr "
+                   "rose while IPC fell as threads grew";
+    }
+    if (scaling.migrationHeavy) {
+        if (verdict.tellp() > 0)
+            verdict << "; ";
+        verdict << "workers migrate between cpus frequently "
+                   "(consider pinning)";
+    }
+    if (scaling.contextSwitchHeavy) {
+        if (verdict.tellp() > 0)
+            verdict << "; ";
+        verdict << "heavy context switching (oversubscribed "
+                   "host?)";
+    }
+    if (verdict.tellp() == 0) {
+        verdict << (scaling.points.size() >= 2 &&
+                            lo.hasIpc && hi.hasIpc
+                        ? "no contention signature in the "
+                          "counters"
+                        : "counters present but too sparse for "
+                          "the contention heuristics");
+    }
+    scaling.verdict = verdict.str();
+    return scaling;
+}
+
+std::string
+formatCounterScaling(const CounterScaling &scaling)
+{
+    std::ostringstream out;
+    if (!scaling.ok) {
+        out << "counter scaling: " << scaling.verdict << "\n";
+        return out.str();
+    }
+    out << "counter scaling (aggregate per thread count):\n";
+    for (const CounterScalingPoint &p : scaling.points) {
+        out << "  n=" << p.threads << ":";
+        out << std::fixed;
+        if (p.hasIpc)
+            out << "  ipc " << std::setprecision(2) << p.ipc;
+        if (p.hasMpki)
+            out << "  mpki " << std::setprecision(2) << p.mpki;
+        if (p.hasMigrations)
+            out << "  migr/worker " << std::setprecision(1)
+                << p.migrationsPerWorker;
+        if (p.hasCtxSwitches)
+            out << "  ctx/s " << std::setprecision(0)
+                << p.ctxSwitchesPerSecond;
+        out << "\n";
+    }
+    out << "  " << scaling.verdict << "\n";
     return out.str();
 }
 

@@ -35,6 +35,13 @@ struct RunDiagnosis
     /** utilization per worker, indexed by worker id. */
     std::vector<double> workerUtilization;
 
+    /** Per-worker counter deltas, parallel to
+     *  workerUtilization (schema v2 telemetry). */
+    std::vector<obs::PerfCounterValues> workerCounters;
+
+    /** True when at least one worker recorded counters. */
+    bool countersAvailable = false;
+
     /** The K longest points, slowest first. */
     std::vector<PointTiming> slowestPoints;
 };
@@ -63,8 +70,59 @@ struct AmdahlFit
 AmdahlFit
 fitAmdahl(const std::vector<std::pair<unsigned, double>> &samples);
 
+/** One thread count's aggregate counter picture. */
+struct CounterScalingPoint
+{
+    unsigned threads = 0;
+    double ipc = 0.0;    ///< aggregate instructions / cycles
+    double mpki = 0.0;   ///< cache misses per 1k instructions
+    double migrationsPerWorker = 0.0;
+    double ctxSwitchesPerSecond = 0.0;
+    bool hasIpc = false;
+    bool hasMpki = false;
+    bool hasMigrations = false;
+    bool hasCtxSwitches = false;
+};
+
+/**
+ * Counter trend across runs at different thread counts, with the
+ * heuristics that tell contention stories timers cannot: rising
+ * misses-per-instruction with falling IPC as threads grow is the
+ * cache-line ping-pong signature (false sharing); heavy per-
+ * worker migrations or context switches point at the scheduler
+ * instead.
+ */
+struct CounterScaling
+{
+    /** True when at least one run carried counters. */
+    bool ok = false;
+
+    /** One aggregate per distinct thread count, ascending. */
+    std::vector<CounterScalingPoint> points;
+
+    /** mpki up >= 30% while IPC down >= 15%, lowest vs highest
+     *  thread count.  Needs hardware events at both ends. */
+    bool falseSharingSuspected = false;
+
+    /** > 10 cpu migrations per worker at the highest count. */
+    bool migrationHeavy = false;
+
+    /** > 500 context switches/s at the highest thread count. */
+    bool contextSwitchHeavy = false;
+
+    /** One-line reading of the flags. */
+    std::string verdict;
+};
+
+/** Analyse counter trends across @p runs (any order). */
+CounterScaling
+analyzeCounterScaling(const std::vector<RunnerTelemetry> &runs);
+
 /** Human-readable multi-line rendering of one diagnosis. */
 std::string formatDiagnosis(const RunDiagnosis &diagnosis);
+
+/** Human-readable rendering of the counter trend analysis. */
+std::string formatCounterScaling(const CounterScaling &scaling);
 
 /** Human-readable rendering of an Amdahl fit (or its failure). */
 std::string formatAmdahlFit(

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -62,6 +63,22 @@ envTelemetryArmed()
 {
     const char *env = std::getenv("UATM_RUNNER_TELEMETRY");
     return env && *env && std::string_view(env) != "0";
+}
+
+/** UATM_PROGRESS: 0/unset = off, numeric N = every N points,
+ *  any other non-"0" value = auto interval. */
+std::size_t
+envProgressEvery()
+{
+    const char *env = std::getenv("UATM_PROGRESS");
+    if (!env || !*env || std::string_view(env) == "0")
+        return 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(env, &end, 10);
+    if (end && *end == '\0' && value > 0)
+        return static_cast<std::size_t>(value);
+    return 1;
 }
 
 /**
@@ -177,6 +194,17 @@ Runner::run(const Scenario &scenario,
     std::exception_ptr firstError;
     std::mutex errorMutex;
 
+    // Progress heartbeat: 1 means auto-size the interval to ~5%
+    // of the grid so big sweeps print ~20 lines, small ones one.
+    std::size_t progressEvery = options_.progressEvery
+                                    ? options_.progressEvery
+                                    : envProgressEvery();
+    if (progressEvery == 1)
+        progressEvery =
+            std::max<std::size_t>(1, points.size() / 20);
+    std::atomic<std::size_t> completed{0};
+    std::mutex progressMutex;
+
     const bool failFast = options_.failFast;
     const unsigned lanes = std::max(threads, 1u);
 
@@ -197,10 +225,21 @@ Runner::run(const Scenario &scenario,
         WorkerTelemetry tel;
         tel.worker = lane;
         std::vector<PointTiming> localPoints;
+        // Per-worker hardware counters: opened on the worker's
+        // own thread so the group counts exactly this worker.
+        // Unavailability (paranoid, seccomp, no PMU) is recorded,
+        // never fatal.
+        std::optional<obs::PerfCounterGroup> counters;
+        obs::PerfReading counterBegin;
         const auto lifeStart = Clock::now();
         if (telemetryArmed) {
             laneStartNs[lane] = nsBetween(wallStart, lifeStart);
             localPoints.reserve(points.size() / lanes + 1);
+            counters.emplace();
+            if (counters->available()) {
+                counters->start();
+                counterBegin = counters->read();
+            }
         }
         while (true) {
             Clock::time_point acquireStart;
@@ -270,6 +309,37 @@ Runner::run(const Scenario &scenario,
                 timing.durationNs = durationNs;
                 localPoints.push_back(std::move(timing));
             }
+            if (progressEvery) {
+                const std::size_t done =
+                    completed.fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1;
+                if (done % progressEvery == 0 ||
+                    done == points.size()) {
+                    const double elapsed =
+                        static_cast<double>(nsBetween(
+                            wallStart, Clock::now())) /
+                        1e9;
+                    const double rate =
+                        elapsed > 0.0
+                            ? static_cast<double>(done) / elapsed
+                            : 0.0;
+                    const double eta =
+                        rate > 0.0
+                            ? static_cast<double>(points.size() -
+                                                  done) /
+                                  rate
+                            : 0.0;
+                    std::lock_guard<std::mutex> lock(
+                        progressMutex);
+                    std::fprintf(
+                        stderr,
+                        "uatm runner [%s]: %zu/%zu points, "
+                        "%.0f points/s, ETA %.1fs\n",
+                        scenario.name().c_str(), done,
+                        points.size(), rate, eta);
+                }
+            }
         }
         double expected =
             kernelSeconds.load(std::memory_order_relaxed);
@@ -282,6 +352,10 @@ Runner::run(const Scenario &scenario,
             const std::uint64_t busy = tel.kernelNs + tel.acquireNs;
             tel.idleNs =
                 tel.lifetimeNs > busy ? tel.lifetimeNs - busy : 0;
+            if (counters && counters->available()) {
+                tel.counters = obs::scaleDelta(counterBegin,
+                                               counters->read());
+            }
             laneTelemetry[lane] = tel;
             lanePoints[lane] = std::move(localPoints);
         }

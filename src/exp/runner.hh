@@ -31,7 +31,16 @@
  * is enabled, or via UATM_RUNNER_TELEMETRY=1) each worker also
  * records what it did — points, kernel/acquire/idle time, one
  * timing per point — lock-free into per-worker slots, merged into
- * lastTelemetry() at join.  Disarmed runs skip all of it.
+ * lastTelemetry() at join.  Disarmed runs skip all of it.  Armed
+ * runs additionally open a per-worker hardware counter group
+ * (obs/perf_counters.hh) and record lifetime counter deltas into
+ * each worker lane; on hosts that forbid perf_event_open the
+ * lanes carry counters.available == false and nothing else
+ * changes.
+ *
+ * UATM_PROGRESS=1 (or RunnerOptions::progressEvery) adds a
+ * stderr heartbeat — done/total, points/s, ETA — that never
+ * touches the merged table, so output stays byte-identical.
  */
 
 #ifndef UATM_EXP_RUNNER_HH
@@ -73,6 +82,16 @@ struct RunnerOptions
      * extra clock reads per point plus one timing record.
      */
     bool telemetry = false;
+
+    /**
+     * Progress heartbeat to stderr every N completed points.
+     * 0 = off (default), 1 = auto-sized interval (~5% of the
+     * grid), N > 1 = every N points.  UATM_PROGRESS supplies the
+     * same values from the environment when this is 0.  The
+     * heartbeat writes only to stderr — merged results stay
+     * byte-identical with it on or off.
+     */
+    std::size_t progressEvery = 0;
 };
 
 /** One failed point of the most recent run. */

@@ -93,8 +93,10 @@ RunnerTelemetry::toJson() const
             .keyValue("kernel_ns", worker.kernelNs)
             .keyValue("acquire_ns", worker.acquireNs)
             .keyValue("idle_ns", worker.idleNs)
-            .keyValue("lifetime_ns", worker.lifetimeNs)
-            .endObject();
+            .keyValue("lifetime_ns", worker.lifetimeNs);
+        w.key("counters");
+        worker.counters.writeJson(w);
+        w.endObject();
     }
     w.endArray();
 
@@ -150,10 +152,13 @@ RunnerTelemetry::fromJson(const obs::JsonValue &doc)
             doc.stringOr("kind", "<missing>"), "')");
     const int version = static_cast<int>(
         doc.numberOr("schema_version", -1));
-    if (version != kTelemetrySchemaVersion)
+    // v1 documents lack the per-worker counters object and parse
+    // with counters unavailable; anything newer than us is an
+    // error rather than a silent partial read.
+    if (version < 1 || version > kTelemetrySchemaVersion)
         return Status::parseError(
             "unsupported telemetry schema_version ", version,
-            " (expected ", kTelemetrySchemaVersion, ")");
+            " (expected 1..", kTelemetrySchemaVersion, ")");
 
     RunnerTelemetry t;
     const obs::JsonValue *armed = doc.find("armed");
@@ -195,6 +200,11 @@ RunnerTelemetry::fromJson(const obs::JsonValue &doc)
             item.numberOr("idle_ns", 0));
         w.lifetimeNs = static_cast<std::uint64_t>(
             item.numberOr("lifetime_ns", 0));
+        if (const obs::JsonValue *counters =
+                item.find("counters")) {
+            w.counters =
+                obs::PerfCounterValues::fromJson(*counters);
+        }
         t.workers.push_back(w);
     }
 
@@ -272,9 +282,30 @@ RunnerTelemetry::registerStats(obs::StatRegistry &registry,
     group.addLatencyHistogram("point_ns", pointLatency,
                               "per-point kernel latency", "ns");
     for (const auto &worker : workers) {
-        group.group("worker" + std::to_string(worker.worker))
-            .addScalar("utilization", worker.utilization(),
-                       "kernel time / worker lifetime");
+        obs::StatGroup wg = group.group(
+            "worker" + std::to_string(worker.worker));
+        wg.addScalar("utilization", worker.utilization(),
+                     "kernel time / worker lifetime");
+        if (!worker.counters.available)
+            continue;
+        using obs::PerfEvent;
+        if (worker.counters.has(PerfEvent::Instructions) &&
+            worker.counters.has(PerfEvent::Cycles)) {
+            wg.addScalar("ipc", worker.counters.ipc(),
+                         "instructions per cycle");
+        }
+        if (worker.counters.has(PerfEvent::CacheMisses) &&
+            worker.counters.has(PerfEvent::CacheReferences)) {
+            wg.addScalar("cache_miss_rate",
+                         worker.counters.cacheMissRate(),
+                         "cache misses / cache references");
+        }
+        if (worker.counters.has(PerfEvent::CpuMigrations)) {
+            wg.addScalar(
+                "cpu_migrations",
+                worker.counters.get(PerfEvent::CpuMigrations),
+                "cpu migrations over the worker's lifetime");
+        }
     }
 }
 

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.hh"
 #include "obs/registry.hh"
 #include "util/status.hh"
 
@@ -34,8 +35,12 @@ class JsonValue;
 
 namespace uatm::exp {
 
-/** Bumped whenever the RUNNER_*.json layout changes shape. */
-constexpr int kTelemetrySchemaVersion = 1;
+/**
+ * Bumped whenever the RUNNER_*.json layout changes shape.
+ * v2 added the per-worker "counters" object (hardware counter
+ * deltas); v1 documents still parse, with counters unavailable.
+ */
+constexpr int kTelemetrySchemaVersion = 2;
 
 /** Shape of the per-point latency histogram (1 ns, x2, 64). */
 obs::LatencyHistogram makePointLatencyHistogram();
@@ -59,6 +64,13 @@ struct WorkerTelemetry
     std::uint64_t acquireNs = 0;  ///< claiming work-queue indices
     std::uint64_t idleNs = 0;     ///< lifetime - kernel - acquire
     std::uint64_t lifetimeNs = 0; ///< spawn to exit
+
+    /**
+     * Hardware counter deltas over the worker's lifetime (schema
+     * v2).  available == false when the host forbids perf, the
+     * run was serial-inline, or the document predates v2.
+     */
+    obs::PerfCounterValues counters;
 
     /** Fraction of the worker's lifetime spent in kernels. */
     double utilization() const;

@@ -125,6 +125,18 @@ BenchSuite::runOne(const std::string &name, const BenchFn &fn,
         before = snapshotValues(registry);
     }
 
+    // Counters run in inherit mode so threads the benchmark
+    // spawns during the timed reps (e.g. runner workers) are
+    // counted too.  Unavailability is recorded, never fatal.
+    PerfCounterOptions counterOptions;
+    counterOptions.inheritChildren = true;
+    PerfCounterGroup counters(counterOptions);
+    PerfReading counterBegin;
+    if (counters.available()) {
+        counters.start();
+        counterBegin = counters.read();
+    }
+
     std::vector<double> ns;
     ns.reserve(reps);
     for (std::uint32_t i = 0; i < reps; ++i) {
@@ -134,6 +146,12 @@ BenchSuite::runOne(const std::string &name, const BenchFn &fn,
         ns.push_back(
             std::chrono::duration<double, std::nano>(t1 - t0)
                 .count());
+    }
+
+    PerfCounterValues counterDelta;
+    if (counters.available()) {
+        counterDelta = scaleDelta(counterBegin, counters.read());
+        counters.stop();
     }
 
     BenchResult result;
@@ -149,6 +167,7 @@ BenchSuite::runOne(const std::string &name, const BenchFn &fn,
     result.hasThreads = state.threadsSet();
     result.threadsRequested = state.threadsRequested();
     result.threadsUsed = state.threadsUsed();
+    result.counters = counterDelta;
 
     if (state.statsProvider()) {
         StatRegistry registry;
@@ -273,6 +292,8 @@ BenchSuite::toJson() const
         for (const auto &[stat, delta] : result.statDelta)
             w.keyValue(stat, delta);
         w.endObject();
+        w.key("counters");
+        result.counters.writeJson(w);
         w.endObject();
     }
     w.endArray();
@@ -461,6 +482,138 @@ formatPerfTable(const std::vector<PerfDelta> &deltas)
                       delta.beforeNsPerOp, delta.afterNsPerOp,
                       change, delta.thresholdNs,
                       perfVerdictName(delta.verdict));
+        os << line;
+    }
+    return os.str();
+}
+
+double
+CounterDelta::ratio() const
+{
+    if (verdict == Verdict::Skipped || beforePerOp <= 0.0)
+        return 0.0;
+    return afterPerOp / beforePerOp;
+}
+
+const char *
+counterVerdictName(CounterDelta::Verdict verdict)
+{
+    switch (verdict) {
+      case CounterDelta::Verdict::Similar:
+        return "similar";
+      case CounterDelta::Verdict::Improved:
+        return "improved";
+      case CounterDelta::Verdict::Regressed:
+        return "REGRESSED";
+      case CounterDelta::Verdict::Skipped:
+        return "skipped";
+    }
+    panic("unknown CounterDelta::Verdict");
+}
+
+namespace {
+
+/** Per-op counter value of one record; false when absent. */
+bool
+recordCounterPerOp(const JsonValue &record, PerfEvent event,
+                   double &out)
+{
+    const JsonValue *counters = record.find("counters");
+    if (!counters)
+        return false;
+    const PerfCounterValues values =
+        PerfCounterValues::fromJson(*counters);
+    if (!values.available || !values.has(event))
+        return false;
+    const double reps =
+        std::max(record.numberOr("reps", 0.0), 1.0);
+    const double items =
+        std::max(record.numberOr("items_per_rep", 1.0), 1.0);
+    out = values.get(event) / (reps * items);
+    return true;
+}
+
+} // namespace
+
+std::vector<CounterDelta>
+compareCounter(const JsonValue &before, const JsonValue &after,
+               PerfEvent event,
+               const CounterDiffOptions &options)
+{
+    std::vector<CounterDelta> out;
+    const JsonValue *before_list = before.find("benchmarks");
+    if (!before_list || !before_list->isArray())
+        return out;
+    for (const JsonValue &record : before_list->items()) {
+        if (!record.isObject())
+            continue;
+        const std::string name = record.stringOr("name", "?");
+        const JsonValue *peer = findBenchmark(after, name);
+        if (!peer)
+            continue;
+        CounterDelta delta;
+        delta.name = name;
+        delta.threshold = options.minRelative;
+        double b = 0.0;
+        double a = 0.0;
+        if (!recordCounterPerOp(record, event, b) ||
+            !recordCounterPerOp(*peer, event, a) || b <= 0.0) {
+            delta.verdict = CounterDelta::Verdict::Skipped;
+            out.push_back(std::move(delta));
+            continue;
+        }
+        delta.beforePerOp = b;
+        delta.afterPerOp = a;
+        const double relative = (a - b) / b;
+        if (relative > options.minRelative)
+            delta.verdict = CounterDelta::Verdict::Regressed;
+        else if (-relative > options.minRelative)
+            delta.verdict = CounterDelta::Verdict::Improved;
+        else
+            delta.verdict = CounterDelta::Verdict::Similar;
+        out.push_back(std::move(delta));
+    }
+    return out;
+}
+
+std::size_t
+countCounterRegressions(const std::vector<CounterDelta> &deltas)
+{
+    std::size_t n = 0;
+    for (const auto &delta : deltas)
+        n += delta.verdict == CounterDelta::Verdict::Regressed;
+    return n;
+}
+
+std::string
+formatCounterTable(const std::vector<CounterDelta> &deltas,
+                   PerfEvent event)
+{
+    std::size_t width = 9;  // "benchmark"
+    for (const auto &delta : deltas)
+        width = std::max(width, delta.name.size());
+
+    std::ostringstream os;
+    os << "counter: " << perfEventName(event) << " per op\n";
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-*s %16s %16s %9s %10s\n",
+                  static_cast<int>(width), "benchmark", "before",
+                  "after", "change", "verdict");
+    os << line;
+    for (const auto &delta : deltas) {
+        char change[16] = "-";
+        if (delta.verdict != CounterDelta::Verdict::Skipped &&
+            delta.beforePerOp > 0.0) {
+            std::snprintf(change, sizeof(change), "%+.1f%%",
+                          (delta.ratio() - 1.0) * 100.0);
+        }
+        std::snprintf(line, sizeof(line),
+                      "%-*s %16.2f %16.2f %9s %10s\n",
+                      static_cast<int>(width),
+                      delta.name.c_str(), delta.beforePerOp,
+                      delta.afterPerOp, change,
+                      counterVerdictName(delta.verdict));
         os << line;
     }
     return os.str();

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/json.hh"
+#include "obs/perf_counters.hh"
 #include "obs/registry.hh"
 
 namespace uatm::obs {
@@ -150,6 +151,13 @@ struct BenchResult
 
     /** (stat name, after - before) over the timed reps. */
     std::vector<std::pair<std::string, double>> statDelta;
+
+    /**
+     * Hardware counter deltas summed over the timed reps (child
+     * threads included), for perf_diff --counter gating.
+     * available == false when the host forbids perf_event_open.
+     */
+    PerfCounterValues counters;
 
     /** Median ns per item (per rep when items were not set). */
     double nsPerOp() const;
@@ -285,6 +293,65 @@ struct PerfDiffOptions
 std::vector<PerfDelta>
 comparePerf(const JsonValue &before, const JsonValue &after,
             const PerfDiffOptions &options = {});
+
+/**
+ * How one benchmark's per-op hardware counter moved between two
+ * runs.  Counter gating (perf_diff --counter=instructions) is the
+ * low-noise complement of wall-time gating: instructions retired
+ * per op barely move under frequency scaling or host load, so a
+ * change beyond the relative threshold is a code change, not
+ * noise.
+ */
+struct CounterDelta
+{
+    enum class Verdict : std::uint8_t
+    {
+        Similar,    ///< within the relative threshold
+        Improved,   ///< fewer counts per op beyond it
+        Regressed,  ///< more counts per op beyond it
+        Skipped,    ///< a side lacks the counter; never gates
+    };
+
+    std::string name;
+    double beforePerOp = 0.0;
+    double afterPerOp = 0.0;
+    /** Relative threshold applied (counterMinRelative). */
+    double threshold = 0.0;
+    Verdict verdict = Verdict::Skipped;
+
+    /** after/before; 0 when Skipped or before is 0. */
+    double ratio() const;
+};
+
+const char *counterVerdictName(CounterDelta::Verdict verdict);
+
+struct CounterDiffOptions
+{
+    /** Relative change below this fraction is Similar.  Counters
+     *  are far quieter than wall time, so 5% is generous. */
+    double minRelative = 0.05;
+};
+
+/**
+ * Compare one hardware counter, per op (value / (reps * items)),
+ * across two BENCH_*.json documents.  Benchmarks missing from
+ * either side are omitted; benchmarks where either record lacks
+ * an available value for @p event appear as Skipped so the CLI
+ * can say so without gating on them.
+ */
+std::vector<CounterDelta>
+compareCounter(const JsonValue &before, const JsonValue &after,
+               PerfEvent event,
+               const CounterDiffOptions &options = {});
+
+/** Regressed entries in @p deltas (Skipped never counts). */
+std::size_t
+countCounterRegressions(const std::vector<CounterDelta> &deltas);
+
+/** Aligned per-op counter before/after table. */
+std::string
+formatCounterTable(const std::vector<CounterDelta> &deltas,
+                   PerfEvent event);
 
 /** Regressed entries in @p deltas (the gate's exit code). */
 std::size_t countRegressions(const std::vector<PerfDelta> &deltas);

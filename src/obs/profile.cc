@@ -34,6 +34,12 @@ ProfileRegistry::ProfileRegistry()
         env && *env && std::string_view(env) != "0") {
         enabled_ = true;
     }
+    // UATM_PERF arms per-scope counters and implies profiling:
+    // counters without scopes would have nowhere to go.
+    if (perfArmed()) {
+        enabled_ = true;
+        counters_ = true;
+    }
 }
 
 ProfileRegistry &
@@ -65,11 +71,44 @@ ProfileRegistry::record(const char *name, double seconds)
     scopes_.back().second.add(seconds);
 }
 
+void
+ProfileRegistry::recordCounters(const char *name,
+                                const PerfCounterValues &delta)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ScopeCounters *counters = nullptr;
+    for (auto &[scope, sc] : counterScopes_) {
+        if (scope == name) {
+            counters = &sc;
+            break;
+        }
+    }
+    if (!counters) {
+        counterScopes_.emplace_back(name, ScopeCounters{});
+        counters = &counterScopes_.back().second;
+    }
+    for (std::size_t i = 0; i < kPerfEventCount; ++i) {
+        const auto event = static_cast<PerfEvent>(i);
+        if (!delta.has(event))
+            continue;
+        counters->stats[i].add(delta.value[i]);
+        counters->mask |= 1u << i;
+    }
+}
+
 std::vector<std::pair<std::string, RunningStats>>
 ProfileRegistry::snapshot() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
     return scopes_;
+}
+
+std::vector<
+    std::pair<std::string, ProfileRegistry::ScopeCounters>>
+ProfileRegistry::counterSnapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return counterScopes_;
 }
 
 void
@@ -81,6 +120,20 @@ ProfileRegistry::registerStats(StatRegistry &registry,
                                  "wall-clock time of the '" +
                                      scope + "' scope",
                                  "seconds");
+    }
+    for (const auto &[scope, counters] : counterSnapshot()) {
+        for (std::size_t i = 0; i < kPerfEventCount; ++i) {
+            const auto event = static_cast<PerfEvent>(i);
+            if (!(counters.mask & (1u << i)))
+                continue;
+            registry.addDistribution(
+                prefix + "." + scope + "." +
+                    perfEventName(event),
+                counters.stats[i],
+                std::string(perfEventName(event)) +
+                    " delta per '" + scope + "' interval",
+                "count");
+        }
     }
 }
 
@@ -104,6 +157,25 @@ ProfileRegistry::format() const
            << "  mean " << stats.mean()
            << "  max " << stats.max() << '\n';
     }
+    const auto counterScopes = counterSnapshot();
+    if (!counterScopes.empty()) {
+        os << "uatm profile counters (per-interval means):\n";
+        for (const auto &[scope, counters] : counterScopes) {
+            os << "  " << scope
+               << std::string(width > scope.size()
+                                  ? width - scope.size()
+                                  : 0,
+                              ' ');
+            for (std::size_t i = 0; i < kPerfEventCount; ++i) {
+                if (!(counters.mask & (1u << i)))
+                    continue;
+                os << "  "
+                   << perfEventName(static_cast<PerfEvent>(i))
+                   << ' ' << counters.stats[i].mean();
+            }
+            os << '\n';
+        }
+    }
     return os.str();
 }
 
@@ -112,6 +184,7 @@ ProfileRegistry::clear()
 {
     std::lock_guard<std::mutex> guard(mutex_);
     scopes_.clear();
+    counterScopes_.clear();
 }
 
 } // namespace uatm::obs

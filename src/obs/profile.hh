@@ -12,6 +12,12 @@
  * one cached bool, so scattering scopes over hot paths is free
  * until UATM_PROFILE is set in the environment (which also dumps
  * the profile to stderr at exit) or setEnabled(true) is called.
+ *
+ * UATM_PERF additionally arms hardware counter deltas per scope:
+ * each timed interval also records cycles/instructions/cache-miss
+ * (etc.) deltas from the calling thread's PerfCounterGroup.  On
+ * hosts where perf_event_open is forbidden the scopes silently
+ * fall back to wall-clock only.  UATM_PERF implies UATM_PROFILE.
  */
 
 #ifndef UATM_OBS_PROFILE_HH
@@ -23,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/perf_counters.hh"
 #include "util/stats.hh"
 
 namespace uatm::obs {
@@ -38,12 +45,32 @@ class ProfileRegistry
     bool enabled() const { return enabled_; }
     void setEnabled(bool enabled) { enabled_ = enabled; }
 
+    /** Per-scope hardware counter collection (UATM_PERF). */
+    bool countersEnabled() const { return counters_; }
+    void setCountersEnabled(bool on) { counters_ = on; }
+
     /** Fold one timed interval into the named scope. */
     void record(const char *name, double seconds);
+
+    /** Fold one interval's counter deltas into the scope. */
+    void recordCounters(const char *name,
+                        const PerfCounterValues &delta);
 
     /** (scope name, timing summary) in first-seen order. */
     std::vector<std::pair<std::string, RunningStats>>
     snapshot() const;
+
+    /** Per-scope per-event counter summaries. */
+    struct ScopeCounters
+    {
+        /** Bit (1 << event) per event with samples. */
+        std::uint32_t mask = 0;
+        std::array<RunningStats, kPerfEventCount> stats{};
+    };
+
+    /** (scope name, counters) for scopes that recorded any. */
+    std::vector<std::pair<std::string, ScopeCounters>>
+    counterSnapshot() const;
 
     /** Register every scope as prefix.<name> distributions. */
     void registerStats(StatRegistry &registry,
@@ -60,7 +87,10 @@ class ProfileRegistry
 
     mutable std::mutex mutex_;
     std::vector<std::pair<std::string, RunningStats>> scopes_;
+    std::vector<std::pair<std::string, ScopeCounters>>
+        counterScopes_;
     bool enabled_ = false;
+    bool counters_ = false;
 };
 
 /**
@@ -75,8 +105,16 @@ class ScopedTimer
         : name_(name),
           active_(ProfileRegistry::instance().enabled())
     {
-        if (active_)
-            start_ = std::chrono::steady_clock::now();
+        if (!active_)
+            return;
+        if (ProfileRegistry::instance().countersEnabled()) {
+            PerfCounterGroup &group = threadPerfCounters();
+            if (group.available()) {
+                counters_ = true;
+                begin_ = group.read();
+            }
+        }
+        start_ = std::chrono::steady_clock::now();
     }
 
     ~ScopedTimer()
@@ -85,6 +123,14 @@ class ScopedTimer
             return;
         const auto elapsed =
             std::chrono::steady_clock::now() - start_;
+        if (counters_) {
+            const PerfCounterValues delta = scaleDelta(
+                begin_, threadPerfCounters().read());
+            if (delta.available) {
+                ProfileRegistry::instance().recordCounters(
+                    name_, delta);
+            }
+        }
         ProfileRegistry::instance().record(
             name_,
             std::chrono::duration<double>(elapsed).count());
@@ -96,7 +142,9 @@ class ScopedTimer
   private:
     const char *name_;
     bool active_;
+    bool counters_ = false;
     std::chrono::steady_clock::time_point start_;
+    PerfReading begin_;
 };
 
 #define UATM_OBS_CONCAT2(a, b) a##b

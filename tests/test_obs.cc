@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -456,6 +458,101 @@ TEST(Prometheus, EveryLineIsHelpTypeOrSample)
     }
     // 2 gauges + 4 summary lines for the distribution.
     EXPECT_EQ(samples, 6u);
+}
+
+TEST(Prometheus, MetricNameSanitization)
+{
+    // Prometheus metric names must match
+    // [a-zA-Z_:][a-zA-Z0-9_:]* — dots, dashes, slashes and
+    // spaces all flatten to '_', and a leading digit may not
+    // survive as the first character.
+    obs::StatRegistry reg;
+    reg.addScalar("9lives", 1.0, "leading digit");
+    reg.addScalar("a-b c/d", 2.0, "punctuation");
+    std::istringstream in(reg.dumpPrometheus());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::string name =
+            line.substr(0, line.find_first_of(" {"));
+        ASSERT_FALSE(name.empty()) << line;
+        EXPECT_TRUE(std::isalpha(
+                        static_cast<unsigned char>(name[0])) ||
+                    name[0] == '_' || name[0] == ':')
+            << "illegal first char: " << line;
+        for (char c : name) {
+            EXPECT_TRUE(std::isalnum(
+                            static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':')
+                << "illegal char '" << c << "' in: " << line;
+        }
+    }
+}
+
+TEST(Prometheus, HelpEscaping)
+{
+    // HELP text escapes backslash and newline (not quotes — HELP
+    // is not a quoted string in the exposition format).
+    obs::StatRegistry reg;
+    reg.addScalar("x", 1.0, "path C:\\tmp\nsecond line");
+    const std::string text = reg.dumpPrometheus();
+    EXPECT_NE(text.find("C:\\\\tmp\\nsecond line"),
+              std::string::npos);
+    // The raw newline must not split the HELP line.
+    EXPECT_EQ(text.find("C:\\tmp\nsecond"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndConsistent)
+{
+    obs::LatencyHistogram hist(1.0, 2.0, 8);
+    hist.add(0.5);
+    hist.add(3.0);
+    hist.add(3.0);
+    hist.add(100.0);
+    obs::StatRegistry reg;
+    reg.addLatencyHistogram("lat", hist, "latency", "ns");
+
+    std::istringstream in(reg.dumpPrometheus());
+    std::string line;
+    double previous = -1.0;
+    double infBucket = -1.0;
+    double count = -1.0;
+    bool sawSum = false;
+    std::size_t buckets = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("# TYPE", 0) == 0 &&
+            line.find("lat") != std::string::npos)
+            EXPECT_NE(line.find("histogram"), std::string::npos)
+                << line;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const double value =
+            std::atof(line.c_str() + space + 1);
+        if (line.find("_bucket{") != std::string::npos) {
+            // Buckets are cumulative: each count must be >= the
+            // previous one, in emission order.
+            EXPECT_GE(value, previous) << line;
+            previous = value;
+            ++buckets;
+            if (line.find("le=\"+Inf\"") != std::string::npos)
+                infBucket = value;
+        } else if (line.find("_sum") != std::string::npos) {
+            sawSum = true;
+            EXPECT_DOUBLE_EQ(value, 0.5 + 3.0 + 3.0 + 100.0);
+        } else if (line.find("_count") != std::string::npos) {
+            count = value;
+        }
+    }
+    ASSERT_GT(buckets, 0u);
+    EXPECT_TRUE(sawSum);
+    // The +Inf bucket is last, equals _count, and covers every
+    // sample.
+    EXPECT_DOUBLE_EQ(infBucket, previous);
+    EXPECT_DOUBLE_EQ(infBucket, count);
+    EXPECT_DOUBLE_EQ(count, 4.0);
 }
 
 // ----------------------------------------------------- TimingStats drift

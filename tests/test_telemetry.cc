@@ -199,6 +199,195 @@ TEST(RunnerTelemetry, JsonRoundTripPreservesEverything)
     EXPECT_EQ(t.pointLatency.p99(), before.pointLatency.p99());
 }
 
+namespace {
+
+/** Synthetic counter block with the core scaling events set. */
+obs::PerfCounterValues
+syntheticCounters(double cycles, double instructions,
+                  double misses, double migrations, double ctx)
+{
+    obs::PerfCounterValues v;
+    v.available = true;
+    v.timeEnabledNs = 1000.0;
+    v.timeRunningNs = 1000.0;
+    auto set = [&](obs::PerfEvent event, double value) {
+        const auto i = static_cast<std::size_t>(event);
+        v.value[i] = value;
+        v.mask |= 1u << i;
+    };
+    set(obs::PerfEvent::Cycles, cycles);
+    set(obs::PerfEvent::Instructions, instructions);
+    set(obs::PerfEvent::CacheMisses, misses);
+    set(obs::PerfEvent::CpuMigrations, migrations);
+    set(obs::PerfEvent::ContextSwitches, ctx);
+    return v;
+}
+
+} // namespace
+
+TEST(RunnerTelemetry, JsonRoundTripPreservesWorkerCounters)
+{
+    RunnerOptions options;
+    options.threads = 2;
+    options.telemetry = true;
+    Runner runner(options);
+    runner.run(fourPointScenario("counters"), {"x"},
+               trivialKernel());
+    RunnerTelemetry before = runner.lastTelemetry();
+    ASSERT_FALSE(before.workers.empty());
+    before.workers[0].counters =
+        syntheticCounters(1000.0, 2500.0, 40.0, 3.0, 7.0);
+    // Force one counter-less lane (the live run may have armed
+    // real counters on every worker).
+    ASSERT_GT(before.workers.size(), 1u);
+    before.workers[1].counters = obs::PerfCounterValues{};
+
+    const obs::JsonParseResult parsed =
+        obs::parseJson(before.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Expected<RunnerTelemetry> after =
+        RunnerTelemetry::fromJson(parsed.value);
+    ASSERT_TRUE(after.ok()) << after.status().toString();
+
+    const obs::PerfCounterValues &c =
+        after.value().workers[0].counters;
+    ASSERT_TRUE(c.available);
+    EXPECT_DOUBLE_EQ(c.get(obs::PerfEvent::Cycles), 1000.0);
+    EXPECT_DOUBLE_EQ(c.get(obs::PerfEvent::Instructions),
+                     2500.0);
+    EXPECT_DOUBLE_EQ(c.ipc(), 2.5);
+    EXPECT_DOUBLE_EQ(c.timeEnabledNs, 1000.0);
+    // The other worker never got counters: it must come back
+    // unavailable, not as zeros.
+    ASSERT_GT(after.value().workers.size(), 1u);
+    EXPECT_FALSE(after.value().workers[1].counters.available);
+}
+
+TEST(RunnerTelemetry, SchemaV1DocumentsStillParse)
+{
+    // A v1 document predates the per-worker counters object and
+    // must load fine with counters reported unavailable.
+    const obs::JsonParseResult parsed = obs::parseJson(
+        "{\"kind\": \"runner_telemetry\", "
+        "\"schema_version\": 1, \"armed\": true, "
+        "\"scenario\": \"legacy\", \"threads_used\": 2, "
+        "\"point_count\": 1, \"workers\": ["
+        "{\"worker\": 0, \"points\": 1, \"kernel_ns\": 10, "
+        "\"idle_ns\": 1, \"lifetime_ns\": 11}]}");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Expected<RunnerTelemetry> loaded =
+        RunnerTelemetry::fromJson(parsed.value);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded.value().scenario, "legacy");
+    ASSERT_EQ(loaded.value().workers.size(), 1u);
+    EXPECT_FALSE(loaded.value().workers[0].counters.available);
+
+    // Version 0 (or missing) is rejected, same as too-new.
+    const obs::JsonParseResult tooOld = obs::parseJson(
+        "{\"kind\": \"runner_telemetry\", "
+        "\"schema_version\": 0, \"workers\": []}");
+    ASSERT_TRUE(tooOld.ok);
+    EXPECT_FALSE(
+        RunnerTelemetry::fromJson(tooOld.value).ok());
+}
+
+TEST(RunnerTelemetry, ProgressHeartbeatKeepsResultsByteIdentical)
+{
+    // The heartbeat writes to stderr only; the merged table must
+    // be byte-identical with and without it.
+    const std::string quiet = [&] {
+        Runner runner(RunnerOptions{2});
+        return runner
+            .run(fourPointScenario(), {"x"}, trivialKernel())
+            .renderCsv();
+    }();
+    RunnerOptions options;
+    options.threads = 2;
+    options.progressEvery = 2;
+    Runner runner(options);
+    EXPECT_EQ(runner
+                  .run(fourPointScenario(), {"x"},
+                       trivialKernel())
+                  .renderCsv(),
+              quiet);
+}
+
+TEST(CounterScaling, DetectsContentionSignatures)
+{
+    RunnerTelemetry lo;
+    lo.armed = true;
+    lo.threadsUsed = 1;
+    lo.wallNs = 1000000000;  // 1 s
+    WorkerTelemetry solo;
+    solo.counters =
+        syntheticCounters(1000.0, 2000.0, 10.0, 1.0, 100.0);
+    lo.workers.push_back(solo);
+
+    RunnerTelemetry hi;
+    hi.armed = true;
+    hi.threadsUsed = 8;
+    hi.wallNs = 1000000000;
+    for (int i = 0; i < 8; ++i) {
+        WorkerTelemetry w;
+        // Aggregate ipc 1.0 (down from 2.0), mpki 40 (up from
+        // 5), 20 migrations/worker, 1600 ctx switches/s: every
+        // heuristic should fire.
+        w.counters = syntheticCounters(2000.0, 2000.0, 80.0,
+                                       20.0, 200.0);
+        hi.workers.push_back(w);
+    }
+
+    const CounterScaling scaling =
+        analyzeCounterScaling({lo, hi});
+    ASSERT_TRUE(scaling.ok);
+    ASSERT_EQ(scaling.points.size(), 2u);
+    EXPECT_EQ(scaling.points.front().threads, 1u);
+    EXPECT_EQ(scaling.points.back().threads, 8u);
+    EXPECT_DOUBLE_EQ(scaling.points.front().ipc, 2.0);
+    EXPECT_DOUBLE_EQ(scaling.points.back().mpki, 40.0);
+    EXPECT_TRUE(scaling.falseSharingSuspected);
+    EXPECT_TRUE(scaling.migrationHeavy);
+    EXPECT_TRUE(scaling.contextSwitchHeavy);
+    EXPECT_FALSE(scaling.verdict.empty());
+}
+
+TEST(CounterScaling, HealthyRunsRaiseNoFlags)
+{
+    std::vector<RunnerTelemetry> runs;
+    for (unsigned threads : {1u, 4u}) {
+        RunnerTelemetry t;
+        t.armed = true;
+        t.threadsUsed = threads;
+        t.wallNs = 1000000000;
+        for (unsigned i = 0; i < threads; ++i) {
+            WorkerTelemetry w;
+            w.counters = syntheticCounters(1000.0, 2000.0,
+                                           10.0, 0.0, 10.0);
+            t.workers.push_back(w);
+        }
+        runs.push_back(t);
+    }
+    const CounterScaling scaling = analyzeCounterScaling(runs);
+    ASSERT_TRUE(scaling.ok);
+    EXPECT_FALSE(scaling.falseSharingSuspected);
+    EXPECT_FALSE(scaling.migrationHeavy);
+    EXPECT_FALSE(scaling.contextSwitchHeavy);
+    EXPECT_EQ(scaling.verdict,
+              "no contention signature in the counters");
+}
+
+TEST(CounterScaling, CounterlessRunsAreNotOk)
+{
+    RunnerTelemetry t;
+    t.armed = true;
+    t.threadsUsed = 2;
+    t.workers.resize(2);
+    const CounterScaling scaling = analyzeCounterScaling({t});
+    EXPECT_FALSE(scaling.ok);
+    EXPECT_TRUE(scaling.points.empty());
+    EXPECT_FALSE(scaling.verdict.empty());
+}
+
 TEST(RunnerTelemetry, FileRoundTripAndLoadErrors)
 {
     RunnerOptions options;

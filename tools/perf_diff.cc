@@ -25,6 +25,17 @@
  *                      Gates intra-record invariants like "the
  *                      single-pass sweep engine beats brute force
  *                      by 3x" that a before/after diff cannot see.
+ *     --counter=<name> additionally gate on a per-op hardware
+ *                      counter ("instructions", "cycles",
+ *                      "cache_misses", ...) recorded by the bench
+ *                      harness.  Counters barely move under host
+ *                      load, so this catches real code changes
+ *                      wall time would drown in noise.  Records
+ *                      without the counter (perf unavailable,
+ *                      older schema) are skipped, never gated.
+ *     --counter-rel=<f>
+ *                      relative threshold for --counter verdicts
+ *                      (default 0.05 = 5%)
  *
  * Exit status: 0 = no regressions, 1 = at least one benchmark
  * regressed or a required speedup not met, 2 = bad usage,
@@ -50,6 +61,7 @@ usage(const char *argv0)
         "usage: %s [--report-only] [--sigmas=<s>] "
         "[--min-rel=<f>] [--no-drift-norm] [--ignore-threads] "
         "[--require-speedup=<slow>:<fast>:<min>] "
+        "[--counter=<name>] [--counter-rel=<f>] "
         "[<before.json>] <after.json>\n",
         argv0);
     return 2;
@@ -131,8 +143,11 @@ main(int argc, char **argv)
     using namespace uatm;
 
     obs::PerfDiffOptions options;
+    obs::CounterDiffOptions counter_options;
     bool report_only = false;
     bool ignore_threads = false;
+    bool counter_armed = false;
+    obs::PerfEvent counter_event = obs::PerfEvent::Instructions;
     std::vector<SpeedupGate> gates;
     std::vector<std::string> files;
 
@@ -152,6 +167,25 @@ main(int argc, char **argv)
                 return 2;
             }
             gates.push_back(std::move(gate));
+        } else if (arg.rfind("--counter=", 0) == 0) {
+            if (!obs::perfEventFromName(arg.substr(10),
+                                        counter_event)) {
+                std::fprintf(stderr,
+                             "perf_diff: unknown counter '%s'\n",
+                             arg.c_str() + 10);
+                return 2;
+            }
+            counter_armed = true;
+        } else if (arg.rfind("--counter-rel=", 0) == 0) {
+            counter_options.minRelative =
+                std::atof(arg.c_str() + 14);
+            if (counter_options.minRelative <= 0.0) {
+                std::fprintf(stderr,
+                             "perf_diff: invalid --counter-rel "
+                             "value '%s'\n",
+                             arg.c_str() + 14);
+                return 2;
+            }
         } else if (arg == "--no-drift-norm") {
             options.normalizeDrift = false;
         } else if (arg.rfind("--sigmas=", 0) == 0) {
@@ -244,6 +278,37 @@ main(int argc, char **argv)
     std::printf("\n");
     std::fputs(obs::formatPerfTable(deltas).c_str(), stdout);
 
+    std::size_t counter_regressions = 0;
+    if (counter_armed) {
+        const std::vector<obs::CounterDelta> counter_deltas =
+            obs::compareCounter(before, after, counter_event,
+                                counter_options);
+        std::printf("\n");
+        if (counter_deltas.empty()) {
+            std::printf("counter gate (%s): no matched "
+                        "benchmarks, skipped\n",
+                        obs::perfEventName(counter_event));
+        } else {
+            std::fputs(obs::formatCounterTable(counter_deltas,
+                                               counter_event)
+                           .c_str(),
+                       stdout);
+            std::size_t skipped = 0;
+            for (const auto &delta : counter_deltas) {
+                skipped += delta.verdict ==
+                           obs::CounterDelta::Verdict::Skipped;
+            }
+            if (skipped > 0) {
+                std::printf("counter gate (%s): %zu benchmark%s "
+                            "without the counter skipped\n",
+                            obs::perfEventName(counter_event),
+                            skipped, skipped == 1 ? "" : "s");
+            }
+            counter_regressions =
+                obs::countCounterRegressions(counter_deltas);
+        }
+    }
+
     bool gates_ok = true;
     if (!gates.empty()) {
         std::printf("\n");
@@ -251,7 +316,7 @@ main(int argc, char **argv)
     }
 
     const std::size_t regressions =
-        obs::countRegressions(deltas);
+        obs::countRegressions(deltas) + counter_regressions;
     if (regressions > 0) {
         std::printf("\n%zu benchmark%s regressed%s\n", regressions,
                     regressions == 1 ? "" : "s",
