@@ -25,6 +25,8 @@
 #include "memory/write_buffer.hh"
 #include "obs/bench.hh"
 #include "trace/generators.hh"
+#include "trace/reuse_distance.hh"
+#include "trace/ycsb.hh"
 
 namespace uatm {
 namespace {
@@ -52,6 +54,30 @@ registerGeneratorBenchmarks(obs::BenchSuite &suite)
         state.setItems(kGenBatch);
         for (std::uint64_t i = 0; i < kGenBatch; ++i) {
             auto ref = spec->next();
+            obs::doNotOptimize(ref);
+        }
+    });
+
+    YcsbWorkload::Config ycsb_config;
+    ycsb_config.records = 100000;
+    auto ycsb =
+        std::make_shared<YcsbWorkload>(ycsb_config, Rng(1));
+    suite.add("gen/ycsb_a", [ycsb](obs::BenchState &state) {
+        state.setItems(kGenBatch);
+        for (std::uint64_t i = 0; i < kGenBatch; ++i) {
+            auto ref = ycsb->next();
+            obs::doNotOptimize(ref);
+        }
+    });
+
+    ReuseDistanceWorkload::Config reuse_config;
+    reuse_config.profile = ReuseProfile::geometric(256, 0.95, 0.02);
+    auto reuse = std::make_shared<ReuseDistanceWorkload>(
+        reuse_config, Rng(1));
+    suite.add("gen/reuse_dist", [reuse](obs::BenchState &state) {
+        state.setItems(kGenBatch);
+        for (std::uint64_t i = 0; i < kGenBatch; ++i) {
+            auto ref = reuse->next();
             obs::doNotOptimize(ref);
         }
     });

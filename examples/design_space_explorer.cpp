@@ -36,20 +36,17 @@ run(int argc, char **argv)
         "design_space_explorer",
         "Sweep cache size, bus width and stalling features "
         "through the timing engine.");
-    options.addString("workload", "doduc",
-                      "SPEC92-like profile (nasa7, swm256, wave5, "
-                      "ear, doduc, hydro2d)");
+    examples::addWorkloadOptions(options, "doduc", 1);
     options.addInt("mu", 8, "memory cycle time per bus transfer");
     options.addInt("refs", 100000, "references to simulate");
     options.addInt("line", 32, "cache line size in bytes");
-    options.addInt("seed", 1, "workload seed");
     options.addFlag("pipelined", "use a pipelined memory (q=2)");
     examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
     const auto cli = examples::parseRunnerOptions(options);
 
-    const std::string workload_name = options.getString("workload");
+    const auto workload = examples::parseWorkloadOptions(options);
     const auto mu = static_cast<Cycles>(options.getInt("mu"));
     const auto line =
         static_cast<std::uint32_t>(options.getInt("line"));
@@ -59,9 +56,7 @@ run(int argc, char **argv)
         "cache size x bus width x stall feature x write buffer");
     scenario.refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
-    scenario.workload = exp::WorkloadSpec::spec92(
-        workload_name,
-        static_cast<std::uint64_t>(options.getInt("seed")));
+    scenario.workload = workload;
     scenario.cache.assoc = 2;
     scenario.cache.lineBytes = line;
     scenario.memory.cycleTime = mu;
@@ -101,7 +96,7 @@ run(int argc, char **argv)
     if (cli.narrate())
         std::printf(
             "workload %s, mu_m = %llu, %llu refs, L = %u\n\n",
-            workload_name.c_str(),
+            workload.describe().c_str(),
             static_cast<unsigned long long>(mu),
             static_cast<unsigned long long>(scenario.refs), line);
 

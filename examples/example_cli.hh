@@ -12,15 +12,45 @@
 #ifndef UATM_EXAMPLES_EXAMPLE_CLI_HH
 #define UATM_EXAMPLES_EXAMPLE_CLI_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
 #include "exp/result_table.hh"
 #include "exp/runner.hh"
+#include "exp/workload_spec.hh"
 #include "util/options.hh"
 #include "util/status.hh"
 
 namespace uatm::examples {
+
+/**
+ * Declare the shared --workload / --seed pair.  The value syntax
+ * is "<method>[:k=v,...]" against the workload registry ("ycsb-a",
+ * "ycsb-a:theta=0.9,records=1e6", "reuse-dist:depth=128", bare
+ * Spec92 profile names like "doduc") — see trace_tool
+ * --list-workloads for the method catalogue.
+ */
+inline void
+addWorkloadOptions(OptionParser &options,
+                   const std::string &default_workload,
+                   std::int64_t default_seed)
+{
+    options.addString("workload", default_workload,
+                      "workload method "
+                      "\"<method>[:k=v,...]\" (see trace_tool "
+                      "--list-workloads)");
+    options.addInt("seed", default_seed, "workload seed");
+}
+
+/** Parse --workload/--seed; a bad method or param is fatal(). */
+inline exp::WorkloadSpec
+parseWorkloadOptions(const OptionParser &options)
+{
+    return valueOrFatal(exp::WorkloadSpec::parse(
+        options.getString("workload"),
+        static_cast<std::uint64_t>(options.getInt("seed"))));
+}
 
 /** Declare --threads, --format, --out and --fail-fast. */
 inline void

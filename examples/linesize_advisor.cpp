@@ -34,7 +34,7 @@ run(int argc, char **argv)
         "linesize_advisor",
         "Recommend a cache line size from measured miss ratios "
         "and the memory's delay function.");
-    options.addString("workload", "nasa7", "SPEC92-like profile");
+    examples::addWorkloadOptions(options, "nasa7", 11);
     options.addInt("cache-kb", 16, "cache capacity in KB");
     options.addDouble("latency-ns", 360.0, "memory access latency");
     options.addDouble("ns-per-byte", 15.0, "transfer time per byte");
@@ -61,8 +61,7 @@ run(int argc, char **argv)
         static_cast<std::uint64_t>(options.getInt("cache-kb")) *
         1024;
     spec.base.assoc = 2;
-    spec.workload =
-        exp::WorkloadSpec::spec92(options.getString("workload"), 11);
+    spec.workload = examples::parseWorkloadOptions(options);
     spec.lineSizes = {8, 16, 32, 64, 128};
     spec.baseLine = 8;
     spec.refs = static_cast<std::uint64_t>(options.getInt("refs"));

@@ -32,7 +32,7 @@ run(int argc, char **argv)
         "memory_system_planner",
         "Rank pipelined memory, bus doubling and write buffers "
         "for a given memory cycle time.");
-    options.addString("workload", "nasa7", "SPEC92-like profile");
+    examples::addWorkloadOptions(options, "nasa7", 21);
     options.addInt("mu", 12, "memory cycle time per bus transfer");
     options.addInt("line", 32, "cache line size in bytes");
     options.addInt("q", 2, "pipelined issue interval");
@@ -42,6 +42,7 @@ run(int argc, char **argv)
         return 0;
     const auto cli = examples::parseRunnerOptions(options);
 
+    const auto workload = examples::parseWorkloadOptions(options);
     const double mu = static_cast<double>(options.getInt("mu"));
     const double line =
         static_cast<double>(options.getInt("line"));
@@ -84,7 +85,7 @@ run(int argc, char **argv)
 
         // 3. End-to-end confirmation with the timing engine.
         std::printf("\nend-to-end simulation (%s):\n",
-                    options.getString("workload").c_str());
+                    workload.describe().c_str());
     }
 
     // One labelled axis: the candidate memory systems.  Each
@@ -94,8 +95,7 @@ run(int argc, char **argv)
                            "candidate memory systems end to end");
     scenario.refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
-    scenario.workload = exp::WorkloadSpec::spec92(
-        options.getString("workload"), 21);
+    scenario.workload = workload;
     scenario.cache.sizeBytes = 8 * 1024;
     scenario.cache.assoc = 2;
     scenario.cache.lineBytes = static_cast<std::uint32_t>(line);

@@ -36,7 +36,7 @@ run(int argc, char **argv)
         "pin_budget_planner",
         "Compare spending pins (bus width) vs chip area (cache "
         "size) at each design point.");
-    options.addString("workload", "ear", "SPEC92-like profile");
+    examples::addWorkloadOptions(options, "ear", 5);
     options.addInt("mu", 12, "memory cycle time per bus transfer");
     options.addInt("refs", 150000, "references to simulate");
     examples::addRunnerOptions(options);
@@ -54,9 +54,8 @@ run(int argc, char **argv)
     const auto refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
     const auto sweep = exp::sweepCacheSizeParallel(
-        base, exp::WorkloadSpec::spec92(
-                  options.getString("workload"), 5),
-        sizes, refs, refs / 10, cli.threads);
+        base, examples::parseWorkloadOptions(options), sizes,
+        refs, refs / 10, cli.threads);
 
     std::vector<SizePoint> anchors;
     for (const auto &point : sweep) {

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 
+#include "cache/sweep.hh"
 #include "core/equivalence.hh"
 #include "exp/scenarios.hh"
 #include "util/options.hh"
@@ -34,11 +35,15 @@ run(int argc, char **argv)
         "quickstart",
         "Price each architectural feature in hit ratio (Table 3).");
     options.addInt("mu", 8, "memory cycle time per bus transfer");
-    options.addDouble("hit-ratio", 0.95, "base hit ratio");
+    options.addDouble("hit-ratio", 0.95,
+                      "base hit ratio (ignored when --workload "
+                      "names a real generator)");
+    examples::addWorkloadOptions(options, "none", 1);
     examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
         return 0;
     const auto cli = examples::parseRunnerOptions(options);
+    const auto workload = examples::parseWorkloadOptions(options);
 
     // 1. Describe the base machine (Sec. 3 vocabulary).
     exp::FeatureGrid grid;
@@ -46,6 +51,21 @@ run(int argc, char **argv)
     grid.ctx.machine.lineBytes = 32; // L
     grid.ctx.alpha = 0.5;            // flush ratio (paper default)
     grid.baseHitRatio = options.getDouble("hit-ratio");
+    if (!workload.isNone()) {
+        // Measure the base hit ratio from the named workload
+        // instead of taking --hit-ratio on faith.
+        CacheConfig cache;
+        cache.sizeBytes = 8 * 1024;
+        cache.assoc = 2;
+        cache.lineBytes = 32;
+        auto source = valueOrFatal(workload.make());
+        grid.baseHitRatio =
+            runCacheSim(cache, *source, 120000, 12000).hitRatio();
+        if (cli.narrate())
+            std::printf("measured HR for %s: %.2f %%\n",
+                        workload.describe().c_str(),
+                        grid.baseHitRatio * 100);
+    }
     grid.phiPartial = 6.5; // measured BNL phi (cf. Figure 1)
     grid.q = 2.0;
     grid.cycleTimes = {

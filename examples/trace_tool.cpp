@@ -1,28 +1,38 @@
 /**
  * @file
- * Trace utility: generate a synthetic workload (any of the six
- * SPEC92-like profiles, the Short&Levy mix, or a combined
- * IFetch+data stream), save it in the text or binary format,
- * inspect a saved trace, or replay one through a cache and report
- * the paper's workload parameters {E, R, W, alpha}.
+ * Trace utility: generate a synthetic workload from any registered
+ * workload method (SPEC92-like profiles, YCSB mixes, reuse-distance
+ * synthesis, Short&Levy, optionally with an interleaved IFetch
+ * stream), save it in the text or binary format, inspect a saved
+ * trace, replay one through a cache and report the paper's workload
+ * parameters {E, R, W, alpha}, or measure a saved trace's
+ * reuse-distance profile as JSON (feed it back through
+ * --workload reuse-dist:hist=<file>).
  *
  * Examples:
- *   trace_tool --mode generate --workload nasa7 --refs 50000 \
- *              --out nasa7.trc --format binary
- *   trace_tool --mode inspect --in nasa7.trc --format binary
- *   trace_tool --mode replay --in nasa7.trc --format binary \
+ *   trace_tool --list-workloads
+ *   trace_tool --describe ycsb
+ *   trace_tool --mode generate --workload ycsb-a:records=100000 \
+ *              --refs 50000 --out ycsb.trc --format binary
+ *   trace_tool --mode inspect --in ycsb.trc --format binary
+ *   trace_tool --mode replay --in ycsb.trc --format binary \
  *              --cache-kb 8 --line 32
+ *   trace_tool --mode reuse-profile --in ycsb.trc --format binary \
+ *              --out ycsb_reuse.json
  */
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "cache/cache.hh"
 #include "core/workload.hh"
 #include "example_cli.hh"
+#include "exp/workload_registry.hh"
 #include "exp/workload_spec.hh"
 #include "trace/io.hh"
+#include "trace/reuse_distance.hh"
 #include "trace/trace_stats.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
@@ -31,17 +41,6 @@
 using namespace uatm;
 
 namespace {
-
-std::unique_ptr<TraceSource>
-makeWorkload(const std::string &name, std::uint64_t seed,
-             bool with_ifetch)
-{
-    exp::WorkloadSpec spec =
-        name == "shortlevy" ? exp::WorkloadSpec::shortLevy(seed)
-                            : exp::WorkloadSpec::spec92(name, seed);
-    spec.withIFetch = with_ifetch;
-    return valueOrFatal(spec.make());
-}
 
 Trace
 loadTrace(const std::string &path, const std::string &format)
@@ -66,6 +65,18 @@ saveTrace(const Trace &trace, const std::string &path,
         fatal("unknown trace format '", format, "'");
 }
 
+/** --list-workloads: one "name - doc" line per registered method. */
+void
+listWorkloads()
+{
+    const auto &registry = exp::WorkloadRegistry::instance();
+    for (const auto &name : registry.names()) {
+        const auto *method = registry.find(name);
+        std::printf("%-12s %s\n", name.c_str(),
+                    method ? method->doc.c_str() : "");
+    }
+}
+
 } // namespace
 
 int
@@ -75,31 +86,51 @@ run(int argc, char **argv)
         "trace_tool",
         "Generate, inspect and replay uatm memory traces.");
     options.addString("mode", "generate",
-                      "generate | inspect | replay");
-    options.addString("workload", "nasa7",
-                      "profile name or 'shortlevy' (generate)");
+                      "generate | inspect | replay | reuse-profile");
+    examples::addWorkloadOptions(options, "nasa7", 1);
     options.addInt("refs", 50000, "references to generate");
-    options.addInt("seed", 1, "generator seed");
     options.addFlag("ifetch",
                     "interleave instruction fetches (generate)");
-    options.addString("out", "trace.trc", "output path (generate)");
+    options.addString("out", "trace.trc",
+                      "output path (generate/reuse-profile)");
     options.addString("in", "trace.trc",
-                      "input path (inspect/replay)");
+                      "input path (inspect/replay/reuse-profile)");
     options.addString("format", "binary", "text | binary");
     options.addInt("cache-kb", 8, "cache capacity (replay)");
     options.addInt("assoc", 2, "associativity (replay)");
-    options.addInt("line", 32, "line size (replay)");
+    options.addInt("line", 32, "line size (replay/reuse-profile)");
+    options.addInt("depth", 256,
+                   "maximum stack depth (reuse-profile)");
+    options.addFlag("list-workloads",
+                    "list the registered workload methods and exit");
+    options.addString("describe", "",
+                      "print a workload method's parameters and "
+                      "exit");
     if (!options.parse(argc, argv))
         return 0;
+
+    if (options.getFlag("list-workloads")) {
+        listWorkloads();
+        return 0;
+    }
+    if (!options.getString("describe").empty()) {
+        std::fputs(
+            valueOrFatal(exp::WorkloadRegistry::instance().describe(
+                             options.getString("describe")))
+                .c_str(),
+            stdout);
+        std::fputc('\n', stdout);
+        return 0;
+    }
 
     const std::string mode = options.getString("mode");
     const std::string format = options.getString("format");
 
     if (mode == "generate") {
-        auto source = makeWorkload(
-            options.getString("workload"),
-            static_cast<std::uint64_t>(options.getInt("seed")),
-            options.getFlag("ifetch"));
+        exp::WorkloadSpec spec =
+            examples::parseWorkloadOptions(options);
+        spec.withIFetch = options.getFlag("ifetch");
+        auto source = valueOrFatal(spec.make());
         Trace trace;
         const auto refs =
             static_cast<std::uint64_t>(options.getInt("refs"));
@@ -159,8 +190,33 @@ run(int argc, char **argv)
         return 0;
     }
 
+    if (mode == "reuse-profile") {
+        Trace trace = loadTrace(options.getString("in"), format);
+        const auto profile = valueOrFatal(ReuseProfile::measure(
+            trace, trace.size(),
+            static_cast<std::uint32_t>(options.getInt("line")),
+            static_cast<std::size_t>(options.getInt("depth"))));
+        const std::string json = profile.toJsonText();
+        const std::string out = options.getString("out");
+        // generate's default --out is a .trc path; route the JSON
+        // to stdout unless the user chose a destination.
+        if (out.empty() || out == "trace.trc") {
+            std::printf("%s\n", json.c_str());
+        } else {
+            std::ofstream file(out);
+            file << json << '\n';
+            if (!file)
+                fatal("cannot write reuse profile to '", out, "'");
+            std::printf("wrote reuse-distance profile (depth %zu) "
+                        "to %s\n",
+                        profile.weights.size(), out.c_str());
+        }
+        return 0;
+    }
+
     fatal("unknown mode '", mode,
-          "' (expected generate, inspect or replay)");
+          "' (expected generate, inspect, replay or "
+          "reuse-profile)");
 }
 
 int

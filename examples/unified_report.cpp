@@ -44,8 +44,7 @@ run(int argc, char **argv)
                       "ratio");
     options.addDouble("alpha", 0.5, "flush ratio");
     options.addInt("q", 2, "pipelined issue interval");
-    options.addString("workload", "hydro2d",
-                      "SPEC92-like profile for the measured parts");
+    examples::addWorkloadOptions(options, "hydro2d", 1);
     options.addInt("refs", 80000, "references to simulate");
     examples::addRunnerOptions(options);
     if (!options.parse(argc, argv))
@@ -64,8 +63,7 @@ run(int argc, char **argv)
     const double q = static_cast<double>(options.getInt("q"));
     const auto refs =
         static_cast<std::uint64_t>(options.getInt("refs"));
-    const std::string workload_name =
-        options.getString("workload");
+    const auto workload = examples::parseWorkloadOptions(options);
 
     if (cli.narrate())
         std::printf(
@@ -138,7 +136,7 @@ run(int argc, char **argv)
 
     // ---- 3. line size ---------------------------------------------
     std::printf("\n[3] line size for '%s' (Sec. 5.4)\n",
-                workload_name.c_str());
+                workload.shortLabel().c_str());
     LineDelayModel delay;
     delay.c = ctx.machine.cycleTime + 1.0;
     delay.beta = ctx.machine.cycleTime;
@@ -147,7 +145,7 @@ run(int argc, char **argv)
         exp::LineTradeoff spec;
         spec.base.sizeBytes = 8 * 1024;
         spec.base.assoc = 2;
-        spec.workload = exp::WorkloadSpec::spec92(workload_name, 1);
+        spec.workload = workload;
         spec.lineSizes = {8, 16, 32, 64, 128};
         spec.baseLine = 8;
         spec.delay = delay;
@@ -195,9 +193,12 @@ run(int argc, char **argv)
             TimingEngine engine(cache, mem,
                                 WriteBufferConfig{wbuf, true},
                                 cpu);
-            auto workload =
-                Spec92Profile::make(workload_name, 2);
-            return engine.run(*workload, refs);
+            // Fresh stream, distinct seed from the sweeps above.
+            exp::WorkloadSpec check = workload;
+            if (check.serializable())
+                check.seed = workload.seed + 1;
+            auto source = okOrThrow(check.make());
+            return engine.run(*source, refs);
         };
         const auto base = run(
             static_cast<std::uint32_t>(ctx.machine.busWidth),

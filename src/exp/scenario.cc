@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "util/logging.hh"
 
@@ -101,8 +102,31 @@ Scenario::sweepWorkloads(const std::vector<std::string> &profiles)
     return sweepLabeled(
         "workload", std::move(values),
         [](Point &point, const AxisValue &value) {
-            point.workload.kind = WorkloadSpec::Kind::Spec92;
-            point.workload.profile = value.label;
+            const std::uint64_t seed = point.workload.seed;
+            const bool ifetch = point.workload.withIFetch;
+            point.workload =
+                WorkloadSpec::spec92(value.label, seed);
+            point.workload.withIFetch = ifetch;
+        });
+}
+
+Scenario &
+Scenario::sweepWorkloadSpecs(std::vector<WorkloadSpec> specs)
+{
+    UATM_ASSERT(!specs.empty(),
+                "workload axis has no specs");
+    std::vector<AxisValue> values;
+    values.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        values.push_back(AxisValue{specs[i].shortLabel(),
+                                   static_cast<double>(i)});
+    auto shared = std::make_shared<std::vector<WorkloadSpec>>(
+        std::move(specs));
+    return sweepLabeled(
+        "workload", std::move(values),
+        [shared](Point &point, const AxisValue &value) {
+            point.workload =
+                (*shared)[static_cast<std::size_t>(value.value)];
         });
 }
 

@@ -124,6 +124,11 @@ class Scenario
      *  workload's seed and ifetch flag are kept). */
     Scenario &sweepWorkloads(const std::vector<std::string> &profiles);
 
+    /** Sweep the workload over whole specs — different registered
+     *  methods, or one method at different params.  Axis labels
+     *  come from WorkloadSpec::shortLabel(). */
+    Scenario &sweepWorkloadSpecs(std::vector<WorkloadSpec> specs);
+
     std::size_t axisCount() const { return axes_.size(); }
 
     /** Axis names in declaration order (the coord columns). */

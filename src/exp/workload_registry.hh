@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Process-wide registry of named workload methods.
+ *
+ * A workload method is a (name, declared params, factory) triple:
+ * the string-addressable recipe behind WorkloadSpec{method,
+ * params}.  The registry validates a caller-supplied ParamMap
+ * against the method's declared parameter types, merges the
+ * declared defaults, and invokes the factory — every failure mode
+ * (unknown method, unknown param, type mismatch, bad value)
+ * returns a typed Status so a mistyped axis value in a 10k-point
+ * grid degrades to one error row, never an abort.
+ *
+ * Built-in methods (registered on first use):
+ *
+ *   none        analytic marker; building a source is an error
+ *   spec92      Spec92Profile phase mixes       (param: profile)
+ *   short-levy  the Short & Levy multi-scale mix
+ *   trace       file-backed replay via trace/io (params: path,
+ *               format)
+ *   ycsb        YCSB key-value mixes            (params: mix,
+ *               records, theta, dist, record-bytes, fields,
+ *               scan-max)
+ *   ycsb-a..f   the six core mixes as presets
+ *   reuse-dist  reuse-distance histogram synthesis (params:
+ *               hist, depth, decay, cold, line-bytes,
+ *               store-fraction)
+ *
+ * New methods can be registered at startup (before threads run;
+ * lookups are read-locked, registration write-locked).  Factories
+ * must be pure: the same (params, seed) must yield the same byte
+ * stream on every call, because the parallel Runner rebuilds the
+ * source once per shard and merges results positionally — see
+ * EXPERIMENTS.md, "Registering a workload method".
+ */
+
+#ifndef UATM_EXP_WORKLOAD_REGISTRY_HH
+#define UATM_EXP_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "exp/param_map.hh"
+#include "trace/source.hh"
+#include "util/status.hh"
+
+namespace uatm::exp {
+
+/** One declared parameter of a workload method. */
+struct ParamSpec
+{
+    std::string name;
+    ParamValue::Type type = ParamValue::Type::String;
+    ParamValue def;
+    std::string help;
+};
+
+/** A registered workload method. */
+struct WorkloadMethod
+{
+    /**
+     * Builds a fresh, rewound source.  @p params has been
+     * validated and default-merged; @p seed is the spec's seed.
+     * Bad param *values* (an unknown profile, a zero record
+     * count) return a Status.
+     */
+    using Factory =
+        std::function<Expected<std::unique_ptr<TraceSource>>(
+            const ParamMap &params, std::uint64_t seed)>;
+
+    std::string name;
+    std::string doc;
+    std::vector<ParamSpec> params;
+    Factory factory;
+
+    /** Declared param by name; nullptr when absent. */
+    const ParamSpec *param(const std::string &name) const;
+};
+
+class WorkloadRegistry
+{
+  public:
+    /** The process-wide registry, builtins registered. */
+    static WorkloadRegistry &instance();
+
+    /**
+     * Register @p method.  InvalidArgument on a duplicate name,
+     * an empty name, a missing factory, or a default whose type
+     * contradicts its declaration.
+     */
+    Status add(WorkloadMethod method);
+
+    /** The named method, or nullptr. */
+    const WorkloadMethod *find(const std::string &name) const;
+
+    /** Registered method names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Validate @p given against @p method's declared params and
+     * merge the declared defaults: unknown methods are NotFound,
+     * unknown params and type mismatches InvalidArgument.
+     */
+    Expected<ParamMap> resolve(const std::string &method,
+                               const ParamMap &given) const;
+
+    /** resolve() then invoke the factory. */
+    Expected<std::unique_ptr<TraceSource>>
+    make(const std::string &method, const ParamMap &given,
+         std::uint64_t seed) const;
+
+    /** Human-readable method summary (doc + param table). */
+    Expected<std::string> describe(const std::string &name) const;
+
+  private:
+    WorkloadRegistry();
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, WorkloadMethod> methods_;
+};
+
+} // namespace uatm::exp
+
+#endif // UATM_EXP_WORKLOAD_REGISTRY_HH

@@ -12,9 +12,32 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace uatm {
+
+/** One "key=value" element of a comma-separated list. */
+struct KeyValue
+{
+    std::string key;
+    std::string value;
+
+    bool operator==(const KeyValue &) const = default;
+};
+
+/**
+ * Parse "k1=v1,k2=v2,..." into ordered pairs.  An empty string is
+ * the empty list.  Missing '=', empty keys, and empty elements
+ * ("a=1,,b=2") are ParseError — reported via Status rather than
+ * fatal() so "--workload=ycsb-a:theta=oops" can degrade to a typed
+ * error at the caller's boundary of choice.  Values may be empty
+ * ("hist=") and may not contain ',' (no escaping).
+ */
+Expected<std::vector<KeyValue>>
+parseKeyValueList(std::string_view text);
 
 /**
  * Declarative option table with typed accessors.
@@ -51,6 +74,15 @@ class OptionParser
     std::int64_t getInt(const std::string &name) const;
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
+
+    /**
+     * A declared string option's value as a "k=v,..." list (see
+     * parseKeyValueList).  Format errors come back as Status, like
+     * getInt/getDouble range errors would be at a library boundary
+     * — the CLI decides whether they are fatal.
+     */
+    Expected<std::vector<KeyValue>>
+    getKeyValueList(const std::string &name) const;
 
     /** Render the --help text. */
     std::string usage() const;

@@ -10,8 +10,10 @@
 
 #include "trace/generators.hh"
 #include "trace/ifetch.hh"
+#include "trace/reuse_distance.hh"
 #include "trace/trace_stats.hh"
 #include "trace/transform.hh"
+#include "trace/ycsb.hh"
 
 namespace uatm {
 namespace {
@@ -356,6 +358,20 @@ TEST(TraceSourceClone, EveryGeneratorKindClones)
     sources.push_back(ShortLevyWorkload::make(5));
     for (const auto &name : Spec92Profile::names())
         sources.push_back(Spec92Profile::make(name, 5));
+    for (auto mix : {YcsbWorkload::Mix::A, YcsbWorkload::Mix::D,
+                     YcsbWorkload::Mix::E, YcsbWorkload::Mix::F}) {
+        YcsbWorkload::Config ycsb;
+        ycsb.mix = mix;
+        ycsb.records = 4000;
+        sources.push_back(
+            std::make_unique<YcsbWorkload>(ycsb, Rng(5)));
+    }
+    {
+        ReuseDistanceWorkload::Config reuse;
+        reuse.profile = ReuseProfile::geometric(48, 0.92, 0.04);
+        sources.push_back(std::make_unique<ReuseDistanceWorkload>(
+            reuse, Rng(5)));
+    }
 
     for (auto &source : sources) {
         const auto expected = source->drain(300);

@@ -30,7 +30,9 @@
 #include "memory/write_buffer.hh"
 #include "trace/generators.hh"
 #include "trace/ifetch.hh"
+#include "trace/reuse_distance.hh"
 #include "trace/transform.hh"
+#include "trace/ycsb.hh"
 
 namespace uatm {
 namespace {
@@ -754,7 +756,32 @@ INSTANTIATE_TEST_SUITE_P(
                       return Spec92Profile::make("nasa7", 21);
                   }},
         BatchCase{"short_levy",
-                  [] { return ShortLevyWorkload::make(22); }}),
+                  [] { return ShortLevyWorkload::make(22); }},
+        BatchCase{"ycsb_a",
+                  [] {
+                      YcsbWorkload::Config cfg;
+                      cfg.mix = YcsbWorkload::Mix::A;
+                      cfg.records = 5000;
+                      return std::make_unique<YcsbWorkload>(
+                          cfg, Rng(23));
+                  }},
+        BatchCase{"ycsb_e",
+                  [] {
+                      // Mix E exercises scans and keyspace growth.
+                      YcsbWorkload::Config cfg;
+                      cfg.mix = YcsbWorkload::Mix::E;
+                      cfg.records = 5000;
+                      return std::make_unique<YcsbWorkload>(
+                          cfg, Rng(24));
+                  }},
+        BatchCase{"reuse_dist",
+                  [] {
+                      ReuseDistanceWorkload::Config cfg;
+                      cfg.profile =
+                          ReuseProfile::geometric(64, 0.9, 0.05);
+                      return std::make_unique<
+                          ReuseDistanceWorkload>(cfg, Rng(25));
+                  }}),
     [](const auto &info) {
         return std::string(info.param.name);
     });

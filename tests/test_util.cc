@@ -459,6 +459,69 @@ TEST(OptionParser, UsageMentionsEveryOption)
     EXPECT_NE(usage.find("the alpha value"), std::string::npos);
 }
 
+// ----------------------------------------------- parseKeyValueList
+
+TEST(ParseKeyValueList, EmptyStringIsAnEmptyList)
+{
+    const auto pairs = parseKeyValueList("");
+    ASSERT_TRUE(pairs.ok());
+    EXPECT_TRUE(pairs.value().empty());
+}
+
+TEST(ParseKeyValueList, SplitsPairsInOrder)
+{
+    const auto pairs =
+        parseKeyValueList("theta=0.99,records=1e6,dist=uniform");
+    ASSERT_TRUE(pairs.ok());
+    const std::vector<KeyValue> expected = {
+        {"theta", "0.99"}, {"records", "1e6"}, {"dist", "uniform"}};
+    EXPECT_EQ(pairs.value(), expected);
+}
+
+TEST(ParseKeyValueList, ValuesMayBeEmptyAndContainEquals)
+{
+    const auto pairs = parseKeyValueList("a=,b=x=y");
+    ASSERT_TRUE(pairs.ok());
+    const std::vector<KeyValue> expected = {{"a", ""},
+                                            {"b", "x=y"}};
+    EXPECT_EQ(pairs.value(), expected);
+}
+
+TEST(ParseKeyValueList, MalformedListsAreParseErrors)
+{
+    for (const char *bad :
+         {"novalue", "=1", "a=1,,b=2", "a=1,", ",a=1"}) {
+        const auto pairs = parseKeyValueList(bad);
+        ASSERT_FALSE(pairs.ok()) << bad;
+        EXPECT_EQ(pairs.status().code(), ErrorCode::ParseError)
+            << bad;
+    }
+}
+
+TEST(OptionParser, GetKeyValueListParsesStringOptions)
+{
+    OptionParser p("prog");
+    p.addString("params", "a=1,b=two", "kv list");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(p.parse(1, argv));
+    const auto pairs = p.getKeyValueList("params");
+    ASSERT_TRUE(pairs.ok());
+    ASSERT_EQ(pairs.value().size(), 2u);
+    EXPECT_EQ(pairs.value()[0].key, "a");
+    EXPECT_EQ(pairs.value()[1].value, "two");
+}
+
+TEST(OptionParser, GetKeyValueListReportsFormatErrors)
+{
+    OptionParser p("prog");
+    p.addString("params", "", "kv list");
+    const char *argv[] = {"prog", "--params", "oops"};
+    ASSERT_TRUE(p.parse(3, argv));
+    const auto pairs = p.getKeyValueList("params");
+    ASSERT_FALSE(pairs.ok());
+    EXPECT_EQ(pairs.status().code(), ErrorCode::ParseError);
+}
+
 // ------------------------------------- OptionParser, negative paths
 
 TEST(OptionParser, FlagAcceptsSpelledOutBooleans)

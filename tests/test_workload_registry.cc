@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Tests for the registered workload-method layer: typed ParamMaps,
+ * the process-wide WorkloadRegistry, and the declarative
+ * WorkloadSpec (CLI parse, JSON round-trip, error-row degradation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/sweep.hh"
+#include "exp/param_map.hh"
+#include "exp/runner.hh"
+#include "exp/scenario.hh"
+#include "exp/workload_registry.hh"
+#include "exp/workload_spec.hh"
+#include "trace/generators.hh"
+#include "trace/io.hh"
+#include "trace/source.hh"
+#include "util/status.hh"
+
+namespace uatm {
+namespace exp {
+namespace {
+
+// ----------------------------------------------------- ParamValue
+
+TEST(ParamValue, ParsesEachDeclaredType)
+{
+    auto s = ParamValue::parse(ParamValue::Type::String, "abc");
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.value().asString(), "abc");
+
+    auto i = ParamValue::parse(ParamValue::Type::Int, "100000");
+    ASSERT_TRUE(i.ok());
+    EXPECT_EQ(i.value().asInt(), 100000);
+
+    auto d = ParamValue::parse(ParamValue::Type::Double, "0.99");
+    ASSERT_TRUE(d.ok());
+    EXPECT_DOUBLE_EQ(d.value().asDouble(), 0.99);
+
+    auto b = ParamValue::parse(ParamValue::Type::Bool, "true");
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(b.value().asBool());
+}
+
+TEST(ParamValue, IntAcceptsIntegralScientificNotation)
+{
+    auto v = ParamValue::parse(ParamValue::Type::Int, "1e6");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value().asInt(), 1000000);
+}
+
+TEST(ParamValue, IntOverflowIsOutOfRange)
+{
+    auto v = ParamValue::parse(ParamValue::Type::Int,
+                               "99999999999999999999999");
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), ErrorCode::OutOfRange);
+}
+
+TEST(ParamValue, MalformedNumbersAreParseErrors)
+{
+    for (auto type :
+         {ParamValue::Type::Int, ParamValue::Type::Double}) {
+        auto v = ParamValue::parse(type, "oops");
+        ASSERT_FALSE(v.ok());
+        EXPECT_EQ(v.status().code(), ErrorCode::ParseError);
+    }
+    auto b = ParamValue::parse(ParamValue::Type::Bool, "maybe");
+    ASSERT_FALSE(b.ok());
+    EXPECT_EQ(b.status().code(), ErrorCode::ParseError);
+}
+
+TEST(ParamValue, CoercionFollowsTheJsonNumberRules)
+{
+    // Int widens to Double ...
+    auto widened =
+        ParamValue::ofInt(3).coerce(ParamValue::Type::Double);
+    ASSERT_TRUE(widened.ok());
+    EXPECT_DOUBLE_EQ(widened.value().asDouble(), 3.0);
+
+    // ... an integral Double narrows to Int ...
+    auto narrowed =
+        ParamValue::ofDouble(1e6).coerce(ParamValue::Type::Int);
+    ASSERT_TRUE(narrowed.ok());
+    EXPECT_EQ(narrowed.value().asInt(), 1000000);
+
+    // ... and a fractional Double does not.
+    auto bad =
+        ParamValue::ofDouble(0.5).coerce(ParamValue::Type::Int);
+    EXPECT_FALSE(bad.ok());
+
+    // Strings never coerce to numbers.
+    auto worse = ParamValue::ofString("5").coerce(
+        ParamValue::Type::Int);
+    EXPECT_FALSE(worse.ok());
+}
+
+TEST(ParamValue, RenderIsCanonical)
+{
+    EXPECT_EQ(ParamValue::ofInt(1000000).render(), "1000000");
+    EXPECT_EQ(ParamValue::ofDouble(0.99).render(), "0.99");
+    EXPECT_EQ(ParamValue::ofBool(false).render(), "false");
+    EXPECT_EQ(ParamValue::ofString("nasa7").render(), "nasa7");
+}
+
+// ------------------------------------------------------- ParamMap
+
+TEST(ParamMap, EntriesStaySortedByName)
+{
+    ParamMap map;
+    map.setInt("records", 1000);
+    map.setDouble("theta", 0.9);
+    map.setString("dist", "uniform");
+    ASSERT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.entries()[0].name, "dist");
+    EXPECT_EQ(map.entries()[1].name, "records");
+    EXPECT_EQ(map.entries()[2].name, "theta");
+    EXPECT_EQ(map.render(), "dist=uniform,records=1000,theta=0.9");
+}
+
+TEST(ParamMap, SetOverwritesAndFindReportsAbsence)
+{
+    ParamMap map;
+    map.setInt("n", 1);
+    map.setInt("n", 2);
+    ASSERT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.getInt("n"), 2);
+    EXPECT_EQ(map.find("missing"), nullptr);
+}
+
+TEST(ParamMap, InsertionOrderDoesNotAffectEquality)
+{
+    ParamMap a;
+    a.setInt("x", 1);
+    a.setString("y", "z");
+    ParamMap b;
+    b.setString("y", "z");
+    b.setInt("x", 1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.render(), b.render());
+}
+
+// ----------------------------------------------- WorkloadRegistry
+
+TEST(WorkloadRegistry, BuiltinsAreRegistered)
+{
+    const auto names = WorkloadRegistry::instance().names();
+    for (const char *expected :
+         {"none", "spec92", "short-levy", "trace", "ycsb",
+          "ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e",
+          "ycsb-f", "reuse-dist"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+    EXPECT_EQ(WorkloadRegistry::instance().find("nosuch"), nullptr);
+}
+
+TEST(WorkloadRegistry, ResolveMergesDeclaredDefaults)
+{
+    const auto resolved =
+        WorkloadRegistry::instance().resolve("ycsb", ParamMap{});
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_EQ(resolved.value().getInt("records"), 100000);
+    EXPECT_DOUBLE_EQ(resolved.value().getDouble("theta"), 0.99);
+    EXPECT_EQ(resolved.value().getString("mix"), "a");
+}
+
+TEST(WorkloadRegistry, ResolveCoercesNumbersToDeclaredTypes)
+{
+    ParamMap given;
+    given.setDouble("records", 1e6); // JSON-style integral double
+    const auto resolved =
+        WorkloadRegistry::instance().resolve("ycsb", given);
+    ASSERT_TRUE(resolved.ok());
+    const ParamValue *records = resolved.value().find("records");
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(records->type(), ParamValue::Type::Int);
+    EXPECT_EQ(records->asInt(), 1000000);
+}
+
+TEST(WorkloadRegistry, UnknownMethodIsNotFoundAndListsKnownOnes)
+{
+    const auto resolved = WorkloadRegistry::instance().resolve(
+        "nosuchmethod", ParamMap{});
+    ASSERT_FALSE(resolved.ok());
+    EXPECT_EQ(resolved.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(resolved.status().message().find("spec92"),
+              std::string::npos);
+}
+
+TEST(WorkloadRegistry, UnknownParamListsTheDeclaredOnes)
+{
+    ParamMap given;
+    given.setInt("bogus", 1);
+    const auto resolved =
+        WorkloadRegistry::instance().resolve("ycsb", given);
+    ASSERT_FALSE(resolved.ok());
+    EXPECT_EQ(resolved.status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_NE(resolved.status().message().find("records"),
+              std::string::npos);
+}
+
+TEST(WorkloadRegistry, BadParamValuesDegradeToStatus)
+{
+    // In-range value works ...
+    ParamMap ok_params;
+    ok_params.setDouble("theta", 0.5);
+    EXPECT_TRUE(WorkloadRegistry::instance()
+                    .make("ycsb", ok_params, 1)
+                    .ok());
+    // ... out-of-range theta and unknown profile are typed errors.
+    ParamMap bad_theta;
+    bad_theta.setDouble("theta", 1.5);
+    EXPECT_FALSE(WorkloadRegistry::instance()
+                     .make("ycsb", bad_theta, 1)
+                     .ok());
+    ParamMap bad_profile;
+    bad_profile.setString("profile", "mcf");
+    const auto made = WorkloadRegistry::instance().make(
+        "spec92", bad_profile, 1);
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), ErrorCode::NotFound);
+}
+
+TEST(WorkloadRegistry, AddRejectsBadRegistrations)
+{
+    auto &registry = WorkloadRegistry::instance();
+
+    WorkloadMethod unnamed;
+    unnamed.factory = [](const ParamMap &, std::uint64_t)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        return Status::invalidArgument("unused");
+    };
+    EXPECT_FALSE(registry.add(unnamed).ok());
+
+    WorkloadMethod factoryless;
+    factoryless.name = "no-factory";
+    EXPECT_FALSE(registry.add(factoryless).ok());
+
+    WorkloadMethod duplicate;
+    duplicate.name = "ycsb";
+    duplicate.factory = unnamed.factory;
+    EXPECT_FALSE(registry.add(duplicate).ok());
+
+    WorkloadMethod mistyped;
+    mistyped.name = "mistyped-default";
+    mistyped.factory = unnamed.factory;
+    mistyped.params.push_back(ParamSpec{
+        "n", ParamValue::Type::Int,
+        ParamValue::ofString("not an int"), "broken"});
+    EXPECT_FALSE(registry.add(mistyped).ok());
+}
+
+TEST(WorkloadRegistry, UserMethodsRegisterAndServeSpecs)
+{
+    // The EXPERIMENTS.md "registering a workload method" recipe.
+    WorkloadMethod method;
+    method.name = "test-stride";
+    method.doc = "fixed-stride probe stream (test only)";
+    method.params.push_back(
+        ParamSpec{"elements", ParamValue::Type::Int,
+                  ParamValue::ofInt(64), "array elements"});
+    method.factory = [](const ParamMap &params, std::uint64_t seed)
+        -> Expected<std::unique_ptr<TraceSource>> {
+        StrideGenerator::Config config;
+        config.elements =
+            static_cast<std::uint64_t>(params.getInt("elements"));
+        std::unique_ptr<TraceSource> source =
+            std::make_unique<StrideGenerator>(config, Rng(seed));
+        return source;
+    };
+    ASSERT_TRUE(
+        WorkloadRegistry::instance().add(std::move(method)).ok());
+
+    const auto spec =
+        WorkloadSpec::parse("test-stride:elements=32", 9);
+    ASSERT_TRUE(spec.ok());
+    auto a = spec.value().make();
+    auto b = spec.value().make();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value()->drain(200), b.value()->drain(200));
+
+    // And the JSON path round-trips it like any builtin.
+    const auto json = spec.value().toJson();
+    ASSERT_TRUE(json.ok());
+    const auto back = WorkloadSpec::fromJson(json.value());
+    ASSERT_TRUE(back.ok());
+    auto c = back.value().make();
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(a.value()->clone()->drain(200),
+              c.value()->drain(200));
+}
+
+TEST(WorkloadRegistry, DescribeDocumentsParams)
+{
+    const auto text =
+        WorkloadRegistry::instance().describe("reuse-dist");
+    ASSERT_TRUE(text.ok());
+    for (const char *param :
+         {"hist", "depth", "decay", "cold", "line-bytes"}) {
+        EXPECT_NE(text.value().find(param), std::string::npos)
+            << param;
+    }
+    EXPECT_FALSE(
+        WorkloadRegistry::instance().describe("nosuch").ok());
+}
+
+// --------------------------------------- WorkloadSpec, CLI parse
+
+TEST(WorkloadSpecParse, BareSpec92ProfileNamesStillWork)
+{
+    const auto spec = WorkloadSpec::parse("nasa7", 3);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().method, "spec92");
+    EXPECT_EQ(spec.value().params.getString("profile"), "nasa7");
+    EXPECT_EQ(spec.value().seed, 3u);
+    EXPECT_EQ(spec.value().shortLabel(), "nasa7");
+
+    const auto levy = WorkloadSpec::parse("shortlevy", 1);
+    ASSERT_TRUE(levy.ok());
+    EXPECT_EQ(levy.value().method, "short-levy");
+}
+
+TEST(WorkloadSpecParse, MethodWithParamsParsesTypedValues)
+{
+    const auto spec =
+        WorkloadSpec::parse("ycsb-a:theta=0.9,records=1e6", 2);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().method, "ycsb-a");
+    EXPECT_DOUBLE_EQ(spec.value().params.getDouble("theta"), 0.9);
+    EXPECT_EQ(spec.value().params.getInt("records"), 1000000);
+    ASSERT_TRUE(spec.value().make().ok());
+}
+
+TEST(WorkloadSpecParse, ErrorsAreTypedAndNameTheContext)
+{
+    const auto unknown = WorkloadSpec::parse("nosuchmethod", 1);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), ErrorCode::NotFound);
+
+    const auto bad_value = WorkloadSpec::parse("ycsb:theta=oops", 1);
+    ASSERT_FALSE(bad_value.ok());
+    EXPECT_NE(bad_value.status().message().find("theta"),
+              std::string::npos);
+
+    const auto bad_param = WorkloadSpec::parse("ycsb:bogus=1", 1);
+    ASSERT_FALSE(bad_param.ok());
+    EXPECT_EQ(bad_param.status().code(),
+              ErrorCode::InvalidArgument);
+
+    const auto bad_list = WorkloadSpec::parse("ycsb:theta", 1);
+    ASSERT_FALSE(bad_list.ok());
+    EXPECT_EQ(bad_list.status().code(), ErrorCode::ParseError);
+}
+
+// --------------------------------------- WorkloadSpec, JSON
+
+/** A temp trace file so the "trace" method can build sources. */
+std::string
+writeTempTrace()
+{
+    Trace trace;
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i) {
+        MemoryReference ref;
+        ref.size = 4;
+        ref.addr = alignDown(rng.nextBelow(1 << 14), ref.size);
+        ref.kind =
+            rng.nextBool(0.3) ? RefKind::Store : RefKind::Load;
+        trace.append(ref);
+    }
+    const std::string path =
+        ::testing::TempDir() + "uatm_registry_test.trc";
+    EXPECT_TRUE(BinaryTraceFormat::writeFile(trace, path).ok());
+    return path;
+}
+
+TEST(WorkloadSpecJson, EveryRegisteredMethodRoundTrips)
+{
+    const std::string trace_path = writeTempTrace();
+    for (const auto &name : WorkloadRegistry::instance().names()) {
+        WorkloadSpec spec = WorkloadSpec::of(name, {}, 11);
+        if (name == "trace") {
+            spec.params.setString("path", trace_path);
+            spec.params.setString("format", "binary");
+        }
+        const auto json = spec.toJson();
+        ASSERT_TRUE(json.ok()) << name;
+        const auto back = WorkloadSpec::fromJson(json.value());
+        ASSERT_TRUE(back.ok()) << name << ": " << json.value();
+
+        // The round-trip preserves the spec field for field and
+        // re-renders byte-identically.
+        EXPECT_EQ(back.value().method, spec.method) << name;
+        EXPECT_EQ(back.value().params, spec.params) << name;
+        EXPECT_EQ(back.value().seed, spec.seed) << name;
+        EXPECT_EQ(back.value().withIFetch, spec.withIFetch) << name;
+        const auto json2 = back.value().toJson();
+        ASSERT_TRUE(json2.ok()) << name;
+        EXPECT_EQ(json.value(), json2.value()) << name;
+
+        // And the deserialized spec builds the same byte stream
+        // (or fails identically, for the analytic marker).
+        auto original = spec.make();
+        auto restored = back.value().make();
+        ASSERT_EQ(original.ok(), restored.ok()) << name;
+        if (original.ok()) {
+            EXPECT_EQ(original.value()->drain(300),
+                      restored.value()->drain(300))
+                << name;
+        } else {
+            EXPECT_EQ(original.status().code(),
+                      restored.status().code())
+                << name;
+        }
+    }
+}
+
+TEST(WorkloadSpecJson, IFetchAndParamsSurviveTheTrip)
+{
+    auto spec = valueOrFatal(
+        WorkloadSpec::parse("ycsb-e:records=2000,scan-max=10", 5));
+    spec.withIFetch = true;
+    const auto json = spec.toJson();
+    ASSERT_TRUE(json.ok());
+    const auto back = WorkloadSpec::fromJson(json.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back.value().withIFetch);
+    auto source = back.value().make();
+    ASSERT_TRUE(source.ok());
+    bool saw_ifetch = false;
+    for (const auto &ref : source.value()->drain(500))
+        saw_ifetch |= ref.kind == RefKind::IFetch;
+    EXPECT_TRUE(saw_ifetch);
+}
+
+TEST(WorkloadSpecJson, StrictSchemaRejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "not json at all",
+        "[1,2]",
+        "{\"params\":{},\"seed\":1,\"ifetch\":false}",
+        "{\"method\":7,\"params\":{},\"seed\":1,\"ifetch\":false}",
+        "{\"method\":\"ycsb\",\"params\":{},\"seed\":-1,"
+        "\"ifetch\":false}",
+        "{\"method\":\"ycsb\",\"params\":{},\"seed\":1.5,"
+        "\"ifetch\":false}",
+        "{\"method\":\"ycsb\",\"params\":{},\"seed\":1,"
+        "\"ifetch\":\"yes\"}",
+        "{\"method\":\"ycsb\",\"params\":{},\"seed\":1,"
+        "\"ifetch\":false,\"extra\":1}",
+        "{\"method\":\"ycsb\",\"params\":{\"theta\":null},"
+        "\"seed\":1,\"ifetch\":false}",
+    };
+    for (const char *text : bad) {
+        const auto spec = WorkloadSpec::fromJson(text);
+        ASSERT_FALSE(spec.ok()) << text;
+        EXPECT_EQ(spec.status().code(), ErrorCode::ParseError)
+            << text;
+    }
+}
+
+TEST(WorkloadSpecJson, UnknownMethodParsesButFailsAtMake)
+{
+    // Deliberate: a deserialized grid degrades per point, so the
+    // parse itself succeeds and make() carries the NotFound.
+    const auto spec = WorkloadSpec::fromJson(
+        "{\"method\":\"retired-method\",\"params\":{},"
+        "\"seed\":1,\"ifetch\":false}");
+    ASSERT_TRUE(spec.ok());
+    const auto made = spec.value().make();
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), ErrorCode::NotFound);
+}
+
+TEST(WorkloadSpecJson, CustomSpecsRefuseToSerialize)
+{
+    const auto spec = WorkloadSpec::custom("inproc", [] {
+        return ShortLevyWorkload::make(1);
+    });
+    EXPECT_FALSE(spec.serializable());
+    const auto json = spec.toJson();
+    ASSERT_FALSE(json.ok());
+    EXPECT_EQ(json.status().code(), ErrorCode::InvalidArgument);
+    // But it still builds.
+    ASSERT_TRUE(spec.make().ok());
+    EXPECT_EQ(spec.shortLabel(), "inproc");
+}
+
+// ------------------------------- Scenario + Runner integration
+
+std::vector<Cell>
+hitRatioKernel(const Point &point)
+{
+    auto source = okOrThrow(point.workload.make());
+    const auto run = runCacheSim(point.cache, *source, point.refs);
+    return {Cell::num(run.hitRatio(), 6)};
+}
+
+Scenario
+newMethodScenario()
+{
+    Scenario scenario("new_methods");
+    scenario.refs = 4000;
+    scenario.cache.sizeBytes = 8192;
+    scenario.cache.assoc = 2;
+    scenario.cache.lineBytes = 32;
+    scenario.sweep("size", {4096, 8192},
+                   [](Point &point, const AxisValue &v) {
+                       point.cache.sizeBytes =
+                           static_cast<std::uint64_t>(v.value);
+                   });
+    scenario.sweepWorkloadSpecs(
+        {valueOrFatal(WorkloadSpec::parse("ycsb-a:records=5000", 3)),
+         valueOrFatal(WorkloadSpec::parse(
+             "reuse-dist:depth=64,decay=0.9", 3)),
+         valueOrFatal(WorkloadSpec::parse("nasa7", 3))});
+    return scenario;
+}
+
+TEST(WorkloadSpecRunner, GeometrySweepIsByteIdenticalAcrossThreads)
+{
+    Runner serial(RunnerOptions{1});
+    Runner wide(RunnerOptions{4});
+    const ResultTable a =
+        serial.run(newMethodScenario(), {"hr"}, hitRatioKernel);
+    const ResultTable b =
+        wide.run(newMethodScenario(), {"hr"}, hitRatioKernel);
+    EXPECT_EQ(a.renderCsv(), b.renderCsv());
+    EXPECT_EQ(a.renderJson(), b.renderJson());
+}
+
+TEST(WorkloadSpecRunner, BadSpecDegradesToAnErrorRow)
+{
+    Scenario scenario("degrades");
+    scenario.refs = 1000;
+    scenario.cache.sizeBytes = 4096;
+    WorkloadSpec broken = WorkloadSpec::of("nosuchmethod", {}, 1);
+    scenario.sweepWorkloadSpecs(
+        {valueOrFatal(WorkloadSpec::parse("ycsb-c:records=2000", 1)),
+         broken});
+    Runner runner(RunnerOptions{2});
+    const ResultTable table =
+        runner.run(scenario, {"hr"}, hitRatioKernel);
+    ASSERT_EQ(table.rows(), 2u);
+    EXPECT_FALSE(table.at(0, 1).isError());
+    EXPECT_TRUE(table.at(1, 1).isError());
+}
+
+} // namespace
+} // namespace exp
+} // namespace uatm
