@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Implementation of the canonical point key.
+ */
+
+#include "exp/point_key.hh"
+
+#include "cpu/stall_feature.hh"
+#include "obs/json.hh"
+
+namespace uatm::exp {
+
+// The key walks every field of the four config structs by hand.
+// These guards fire when a field is added, so the key (and the
+// schema version above) cannot silently go stale and alias two
+// configurations that now differ.
+static_assert(sizeof(CacheConfig) == 32,
+              "CacheConfig changed shape: extend canonicalPointKey "
+              "and bump kPointKeySchemaVersion");
+static_assert(sizeof(MemoryConfig) == 32,
+              "MemoryConfig changed shape: extend canonicalPointKey "
+              "and bump kPointKeySchemaVersion");
+static_assert(sizeof(WriteBufferConfig) == 8,
+              "WriteBufferConfig changed shape: extend "
+              "canonicalPointKey and bump kPointKeySchemaVersion");
+static_assert(sizeof(CpuConfig) == 12,
+              "CpuConfig changed shape: extend canonicalPointKey "
+              "and bump kPointKeySchemaVersion");
+
+Expected<std::string>
+canonicalPointKey(const Point &point, std::string_view kernel_id)
+{
+    if (kernel_id.empty()) {
+        return Status::invalidArgument(
+            "a point key needs a non-empty kernel id");
+    }
+    auto workload = point.workload.toJson();
+    if (!workload.ok()) {
+        return Status::error(
+            workload.status().code(),
+            "point is not cacheable: ", workload.status().message());
+    }
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.keyValue("v", kPointKeySchemaVersion);
+    w.keyValue("kernel", kernel_id);
+
+    w.key("cache").beginObject();
+    w.keyValue("size", point.cache.sizeBytes);
+    w.keyValue("assoc", point.cache.assoc);
+    w.keyValue("line", point.cache.lineBytes);
+    w.keyValue("write_miss",
+               writeMissPolicyName(point.cache.writeMiss));
+    w.keyValue("write", writePolicyName(point.cache.write));
+    w.keyValue("replacement",
+               replacementKindName(point.cache.replacement));
+    w.keyValue("replacement_seed", point.cache.replacementSeed);
+    w.endObject();
+
+    w.key("memory").beginObject();
+    w.keyValue("bus_width", point.memory.busWidthBytes);
+    w.keyValue("cycle_time", point.memory.cycleTime);
+    w.keyValue("pipelined", point.memory.pipelined);
+    w.keyValue("pipeline_interval", point.memory.pipelineInterval);
+    w.endObject();
+
+    w.key("wbuf").beginObject();
+    w.keyValue("depth", point.writeBuffer.depth);
+    w.keyValue("read_bypass", point.writeBuffer.readBypass);
+    w.endObject();
+
+    w.key("cpu").beginObject();
+    w.keyValue("feature", stallFeatureName(point.cpu.feature));
+    w.keyValue("mshrs", point.cpu.mshrs);
+    w.keyValue("suppress_flush", point.cpu.suppressFlushTraffic);
+    w.keyValue("prefetch", prefetchPolicyName(point.cpu.prefetch));
+    w.endObject();
+
+    w.key("workload").rawValue(workload.value());
+    w.keyValue("refs", point.refs);
+    w.keyValue("warmup", point.warmupRefs);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+pointKeyDigest(std::string_view canonical_key)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : canonical_key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace uatm::exp

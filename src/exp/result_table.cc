@@ -5,6 +5,7 @@
 
 #include "exp/result_table.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -53,6 +54,18 @@ Cell::error(const Status &status)
     return cell;
 }
 
+Cell
+Cell::fromParts(std::string text, double value, bool numeric,
+                bool is_error)
+{
+    Cell cell;
+    cell.text_ = std::move(text);
+    cell.value_ = value;
+    cell.numeric_ = numeric;
+    cell.error_ = is_error;
+    return cell;
+}
+
 const char *
 tableFormatName(TableFormat format)
 {
@@ -63,6 +76,8 @@ tableFormatName(TableFormat format)
         return "csv";
       case TableFormat::Json:
         return "json";
+      case TableFormat::Ndjson:
+        return "ndjson";
     }
     return "?";
 }
@@ -76,8 +91,11 @@ parseTableFormat(const std::string &name)
         return TableFormat::Csv;
     if (name == "json")
         return TableFormat::Json;
-    return Status::invalidArgument("unknown table format '", name,
-                                   "' (expected text, csv or json)");
+    if (name == "ndjson")
+        return TableFormat::Ndjson;
+    return Status::invalidArgument(
+        "unknown table format '", name,
+        "' (expected text, csv, json or ndjson)");
 }
 
 ResultTable::ResultTable(std::string name,
@@ -113,6 +131,8 @@ ResultTable::render(TableFormat format) const
         return renderCsv();
       case TableFormat::Json:
         return renderJson();
+      case TableFormat::Ndjson:
+        return renderNdjson();
     }
     panic("bad table format ", int(format));
 }
@@ -179,6 +199,43 @@ ResultTable::renderJson() const
     json.endArray();
     json.endObject();
     return json.str();
+}
+
+std::string
+ResultTable::renderNdjsonRow(std::size_t row) const
+{
+    UATM_ASSERT(row < rows_.size(), "row ", row, " out of range");
+    obs::JsonWriter json;
+    json.beginObject();
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+        const Cell &cell = rows_[row][col];
+        json.key(columns_[col]);
+        if (cell.numeric() && std::isfinite(cell.value())) {
+            // The cell's rendered text ("%.*f" / to_string) is a
+            // valid JSON number, and using it verbatim makes the
+            // wire format text-authoritative: a cell rebuilt from
+            // a cache entry streams byte-identically to the
+            // freshly computed one.
+            json.rawValue(cell.str());
+        } else if (cell.numeric()) {
+            json.value(cell.value()); // non-finite -> null
+        } else {
+            json.value(cell.str());
+        }
+    }
+    json.endObject();
+    return json.str();
+}
+
+std::string
+ResultTable::renderNdjson() const
+{
+    std::string out;
+    for (std::size_t row = 0; row < rows_.size(); ++row) {
+        out += renderNdjsonRow(row);
+        out += '\n';
+    }
+    return out;
 }
 
 Status

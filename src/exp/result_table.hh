@@ -50,6 +50,15 @@ class Cell
      */
     static Cell error(const Status &status);
 
+    /**
+     * Rebuild a cell from its serialized parts (display text,
+     * numeric value, kind flags) — the PointCache round-trip.
+     * The text is authoritative: a rebuilt cell renders
+     * byte-identically to the original in every format.
+     */
+    static Cell fromParts(std::string text, double value,
+                          bool numeric, bool is_error);
+
     const std::string &str() const { return text_; }
     bool numeric() const { return numeric_; }
     double value() const { return value_; }
@@ -65,14 +74,16 @@ class Cell
 /** Output form of a ResultTable. */
 enum class TableFormat : std::uint8_t
 {
-    Text, ///< aligned, human-readable (util/table)
-    Csv,  ///< RFC 4180, one header row (util/csv quoting)
-    Json, ///< {"schema_version", "name", "columns", "rows"}
+    Text,   ///< aligned, human-readable (util/table)
+    Csv,    ///< RFC 4180, one header row (util/csv quoting)
+    Json,   ///< {"schema_version", "name", "columns", "rows"}
+    Ndjson, ///< one JSON object per row, newline-delimited
 };
 
 const char *tableFormatName(TableFormat format);
 
-/** Parse "text" | "csv" | "json"; error Status on anything else. */
+/** Parse "text" | "csv" | "json" | "ndjson"; error Status on
+ *  anything else. */
 Expected<TableFormat> parseTableFormat(const std::string &name);
 
 class ResultTable
@@ -99,6 +110,18 @@ class ResultTable
     std::string renderText() const;
     std::string renderCsv() const;
     std::string renderJson() const;
+
+    /**
+     * Newline-delimited JSON: one {"column": value, ...} object
+     * per row, no header.  Numeric cells emit their exact value
+     * as a JSON number, everything else (labels, error cells) as
+     * a string.  This is the wire format the serve layer streams,
+     * so rendering is deterministic row by row.
+     */
+    std::string renderNdjson() const;
+
+    /** One row of renderNdjson(), without the trailing newline. */
+    std::string renderNdjsonRow(std::size_t row) const;
 
     /**
      * Render to @p out_path, or to stdout when the path is empty.

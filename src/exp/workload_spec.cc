@@ -162,10 +162,19 @@ WorkloadSpec::describe() const
 Expected<std::string>
 WorkloadSpec::toJson() const
 {
-    if (isCustom()) {
+    if (isCustom() || !customName.empty()) {
+        // The second clause catches a custom() spec whose factory
+        // is null: it has no method either, and serializing it as
+        // {"method": ""} would hand downstream memoization (the
+        // serve layer's point keys) an alias-prone description.
         return Status::invalidArgument(
             "custom workload spec '", shortLabel(),
             "' is not serializable");
+    }
+    if (method.empty()) {
+        return Status::invalidArgument(
+            "workload spec with an empty method is not "
+            "serializable");
     }
     obs::JsonWriter writer;
     writer.beginObject();
@@ -243,17 +252,29 @@ WorkloadSpec::make() const
     std::unique_ptr<TraceSource> data;
     if (isCustom()) {
         data = factory();
-        UATM_ASSERT(data != nullptr,
-                    "custom workload factory returned null");
+        if (!data) {
+            return Status::invalidArgument(
+                "custom workload '", shortLabel(),
+                "' factory returned null");
+        }
+    } else if (method.empty()) {
+        // A custom() spec built with a null factory lands here:
+        // it is neither a registered method nor a usable custom
+        // spec.  A typed error keeps it a per-point error row.
+        return Status::invalidArgument(
+            "workload spec '", shortLabel(),
+            "' has no method and no factory");
     } else {
         auto made = WorkloadRegistry::instance().make(
             method, params, seed);
         if (!made.ok())
             return made.status();
         data = std::move(made).value();
-        UATM_ASSERT(data != nullptr,
-                    "workload method '", method,
-                    "' factory returned null");
+        if (!data) {
+            return Status::invalidArgument(
+                "workload method '", method,
+                "' factory returned null");
+        }
     }
     if (!withIFetch)
         return Expected<std::unique_ptr<TraceSource>>(

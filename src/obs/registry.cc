@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <unordered_set>
 
 #include "obs/json.hh"
 #include "util/logging.hh"
@@ -387,6 +388,13 @@ StatRegistry::find(const std::string &name) const
     return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
+StatEntry *
+StatRegistry::findMutable(const std::string &name)
+{
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
 double
 StatRegistry::value(const std::string &name) const
 {
@@ -528,6 +536,21 @@ promSanitize(const std::string &name)
     return out.empty() ? std::string("_") : out;
 }
 
+/** Label names are stricter than metric names: no ':'. */
+std::string
+promSanitizeLabelName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool legal =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9' && !out.empty()) || c == '_';
+        out += legal ? c : '_';
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
 /** Escape a label value: backslash, double quote, newline. */
 std::string
 promEscapeLabel(const std::string &value)
@@ -597,7 +620,7 @@ promLabelBlock(
             if (!first)
                 out += ',';
             first = false;
-            out += promSanitize(name) + "=\"" +
+            out += promSanitizeLabelName(name) + "=\"" +
                    promEscapeLabel(value) + "\"";
         }
     }
@@ -615,10 +638,49 @@ StatRegistry::dumpPrometheus(
 {
     std::ostringstream os;
     const std::string base = promLabelBlock(labels);
+
+    // Sanitization can collide ("a.b" and "a-b" both map to
+    // "a_b"), and a gauge literally named "x_bucket" would collide
+    // with histogram x's derived series.  A repeated metric name
+    // means duplicate HELP/TYPE blocks, which scrapers reject, so
+    // every name an entry occupies — itself plus any derived
+    // _bucket/_sum/_count series — is claimed in this set, and
+    // later colliders get a deterministic "_2"/"_3" suffix.
+    std::unordered_set<std::string> used;
+    const auto derivedNames =
+        [](const std::string &metric,
+           StatKind kind) -> std::vector<std::string> {
+        switch (kind) {
+          case StatKind::Distribution:
+          case StatKind::Histogram:
+            return {metric, metric + "_bucket", metric + "_sum",
+                    metric + "_count"};
+          default:
+            return {metric};
+        }
+    };
+
     for (const auto &entry : entries_) {
-        const std::string metric = promSanitize(prefix) + "_" +
-                                   promSanitize(entry.name) +
-                                   promUnitSuffix(entry.unit);
+        std::string metric = promSanitize(prefix) + "_" +
+                             promSanitize(entry.name) +
+                             promUnitSuffix(entry.unit);
+        for (int suffix = 2;; ++suffix) {
+            const auto names = derivedNames(metric, entry.kind);
+            const bool clash = std::any_of(
+                names.begin(), names.end(),
+                [&used](const std::string &name) {
+                    return used.contains(name);
+                });
+            if (!clash) {
+                used.insert(names.begin(), names.end());
+                break;
+            }
+            metric = promSanitize(prefix) + "_" +
+                     promSanitize(entry.name) +
+                     promUnitSuffix(entry.unit) + "_" +
+                     std::to_string(suffix);
+        }
+
         const bool summary =
             entry.kind == StatKind::Distribution;
         const bool histogram =
@@ -636,13 +698,24 @@ StatRegistry::dumpPrometheus(
         if (histogram) {
             // Conformant exposition: cumulative _bucket series
             // over the occupied edges, always closed by le="+Inf"
-            // (== _count), then _sum and _count.
+            // (== _count), then _sum and _count.  The buckets are
+            // snapshotted once so a scrape concurrent with add()
+            // stays internally consistent: reading a live bucket
+            // twice (or _count separately) could yield a
+            // non-monotone cumulative series or a +Inf bucket
+            // below _count.
             const LatencyHistogram &h = entry.histogram;
+            std::vector<std::uint64_t> counts(h.buckets());
+            std::uint64_t total = 0;
+            for (std::size_t i = 0; i < counts.size(); ++i) {
+                counts[i] = h.bucketCount(i);
+                total += counts[i];
+            }
             std::uint64_t cumulative = 0;
-            for (std::size_t i = 0; i + 1 < h.buckets(); ++i) {
-                if (h.bucketCount(i) == 0)
+            for (std::size_t i = 0; i + 1 < counts.size(); ++i) {
+                if (counts[i] == 0)
                     continue;
-                cumulative += h.bucketCount(i);
+                cumulative += counts[i];
                 os << metric << "_bucket"
                    << promLabelBlock(
                           labels,
@@ -653,12 +726,12 @@ StatRegistry::dumpPrometheus(
             }
             os << metric << "_bucket"
                << promLabelBlock(labels, {{"le", "+Inf"}}) << ' '
-               << promNumber(static_cast<double>(h.count()))
+               << promNumber(static_cast<double>(total))
                << '\n';
             os << metric << "_sum" << base << ' '
                << promNumber(h.sum()) << '\n';
             os << metric << "_count" << base << ' '
-               << promNumber(static_cast<double>(h.count()))
+               << promNumber(static_cast<double>(total))
                << '\n';
             continue;
         }

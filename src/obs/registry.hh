@@ -181,6 +181,14 @@ class StatRegistry
     /** Entry by name; nullptr when absent. */
     const StatEntry *find(const std::string &name) const;
 
+    /**
+     * Mutable entry by name, for components that keep feeding a
+     * registered histogram after registration; nullptr when
+     * absent.  Like addLatencyHistogram's reference, the pointer
+     * is invalidated by the next registration.
+     */
+    StatEntry *findMutable(const std::string &name);
+
     /** Current value of the named stat; panics when absent. */
     double value(const std::string &name) const;
 
@@ -214,7 +222,12 @@ class StatRegistry
      * unit suffix derived from the stat's unit ("cycles" ->
      * "_cycles"; the unitless "count"/"bool" add nothing).  Each
      * sample carries @p labels verbatim, with label values escaped
-     * per the exposition rules (backslash, double quote, newline).
+     * per the exposition rules (backslash, double quote, newline)
+     * and label names sanitized with the stricter label charset
+     * (no ':').  Sanitization collisions ("a.b" vs "a-b", or a
+     * gauge named like another metric's _bucket/_sum/_count
+     * series) are resolved with a deterministic "_2"/"_3" suffix
+     * so no metric name ever repeats its HELP/TYPE block.
      * Scalars and formulas emit as gauges with a HELP/TYPE pair;
      * distributions emit as summaries (quantile 0/1 = min/max,
      * plus _sum and _count); latency histograms emit as conformant

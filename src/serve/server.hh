@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The uatm-served HTTP surface: route dispatch over a SweepService.
+ *
+ * Four endpoints (docs/SERVING.md):
+ *
+ *   POST /sweep      scenario JSON in, NDJSON result rows out
+ *                    (streamed; X-Uatm-* headers carry the cache
+ *                    accounting);
+ *   GET  /metrics    Prometheus exposition of the service stats;
+ *   GET  /healthz    liveness probe;
+ *   GET  /workloads  registered workload methods, kernels, axes.
+ *
+ * The server owns the typed-Status -> HTTP mapping and nothing
+ * else: ParseError/NotFound/InvalidArgument are the caller's fault
+ * (400), OutOfRange is a too-big request (413), Unavailable is a
+ * full queue (429), anything else is ours (500).  Error bodies are
+ * JSON {"error": <code>, "message": <text>} so clients never have
+ * to scrape prose.
+ */
+
+#ifndef UATM_SERVE_SERVER_HH
+#define UATM_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/http.hh"
+#include "serve/service.hh"
+#include "util/status.hh"
+
+namespace uatm::serve {
+
+struct ServerOptions
+{
+    HttpServer::Options http;
+    ServiceOptions service;
+};
+
+/** HTTP status for a typed error @p code (see file comment). */
+int httpStatusForError(ErrorCode code);
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind and serve on a background thread. */
+    Status start();
+
+    /** Stop accepting and join every connection.  Idempotent. */
+    void stop();
+
+    bool running() const { return http_.running(); }
+
+    /** Bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return http_.port(); }
+
+    SweepService &service() { return *service_; }
+
+    /** Route one request; public so tests can exercise dispatch
+     *  without sockets. */
+    HttpResponse handle(const HttpRequest &request);
+
+  private:
+    ServerOptions options_;
+    std::unique_ptr<SweepService> service_;
+    HttpServer http_;
+
+    HttpResponse handleSweep(const HttpRequest &request);
+    HttpResponse handleMetrics();
+    HttpResponse handleWorkloads();
+};
+
+} // namespace uatm::serve
+
+#endif // UATM_SERVE_SERVER_HH

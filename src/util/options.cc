@@ -106,14 +106,32 @@ OptionParser::addFlag(const std::string &name, const std::string &help)
 bool
 OptionParser::parse(int argc, const char *const *argv)
 {
+    bool helped = false;
+    const Status status = tryParse(argc, argv, &helped);
+    if (!status.ok())
+        fatal(status.message());
+    return !helped;
+}
+
+Status
+OptionParser::tryParse(int argc, const char *const *argv,
+                       bool *helped)
+{
+    if (helped)
+        *helped = false;
+    std::vector<const Option *> seen;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::fputs(usage().c_str(), stdout);
-            return false;
+            if (helped)
+                *helped = true;
+            return Status();
         }
-        if (arg.rfind("--", 0) != 0)
-            fatal("unexpected positional argument '", arg, "'");
+        if (arg.rfind("--", 0) != 0) {
+            return Status::invalidArgument(
+                "unexpected positional argument '", arg, "'");
+        }
         arg = arg.substr(2);
         std::string value;
         bool has_value = false;
@@ -123,20 +141,38 @@ OptionParser::parse(int argc, const char *const *argv)
             has_value = true;
         }
         Option *opt = find(arg);
-        if (!opt)
-            fatal("unknown option '--", arg, "' (try --help)");
+        if (!opt) {
+            return Status::invalidArgument(
+                "unknown option '--", arg, "' (try --help)");
+        }
+        if (std::find(seen.begin(), seen.end(), opt) !=
+            seen.end()) {
+            return Status::invalidArgument(
+                "option '--", arg,
+                "' given more than once (neither value can win "
+                "silently)");
+        }
+        seen.push_back(opt);
+        if (has_value && value.empty()) {
+            return Status::invalidArgument(
+                "option '--", arg,
+                "=' has an empty value (omit the option to keep "
+                "its default)");
+        }
         if (opt->kind == Kind::Flag) {
             opt->value = has_value ? value : "1";
             continue;
         }
         if (!has_value) {
-            if (i + 1 >= argc)
-                fatal("option '--", arg, "' needs a value");
+            if (i + 1 >= argc) {
+                return Status::invalidArgument(
+                    "option '--", arg, "' needs a value");
+            }
             value = argv[++i];
         }
         opt->value = value;
     }
-    return true;
+    return Status();
 }
 
 std::string

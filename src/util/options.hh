@@ -66,9 +66,25 @@ class OptionParser
 
     /**
      * Parse argv.  On "--help", prints usage and returns false; the
-     * caller should exit successfully.  Unknown options are fatal().
+     * caller should exit successfully.  Any parse problem —
+     * unknown options, missing values, an option repeated on the
+     * command line, or "--name=" with an empty value — is fatal().
      */
     bool parse(int argc, const char *const *argv);
+
+    /**
+     * parse() with typed errors instead of fatal(): returns an
+     * InvalidArgument Status for unknown options, missing values,
+     * repeated options (repetition is always ambiguous — neither
+     * first- nor last-wins is obviously right, so both are
+     * rejected), and "--name=" with an empty value (an explicitly
+     * empty setting is indistinguishable from a typo; pass no
+     * option to get the default).  helped is set when "--help"
+     * was consumed (usage printed, OK returned): the caller
+     * should exit successfully without reading values.
+     */
+    Status tryParse(int argc, const char *const *argv,
+                    bool *helped = nullptr);
 
     std::string getString(const std::string &name) const;
     std::int64_t getInt(const std::string &name) const;

@@ -25,6 +25,8 @@ errorCodeName(ErrorCode code)
         return "out_of_range";
       case ErrorCode::KernelError:
         return "kernel_error";
+      case ErrorCode::Unavailable:
+        return "unavailable";
     }
     panic("unknown ErrorCode ", static_cast<int>(code));
 }

@@ -39,6 +39,7 @@ enum class ErrorCode : std::uint8_t
     NotFound,        ///< unknown name, missing axis or table entry
     OutOfRange,      ///< numeric overflow or out-of-range value
     KernelError,     ///< a scenario kernel threw
+    Unavailable,     ///< a bounded resource is full; retry later
 };
 
 /** "ok", "invalid_argument", "parse_error", ... */
@@ -106,6 +107,14 @@ class [[nodiscard]] Status
     outOfRange(Args &&...args)
     {
         return error(ErrorCode::OutOfRange,
+                     std::forward<Args>(args)...);
+    }
+
+    template <typename... Args>
+    static Status
+    unavailable(Args &&...args)
+    {
+        return error(ErrorCode::Unavailable,
                      std::forward<Args>(args)...);
     }
 

@@ -503,6 +503,77 @@ TEST(Prometheus, HelpEscaping)
     EXPECT_EQ(text.find("C:\\tmp\nsecond"), std::string::npos);
 }
 
+TEST(Prometheus, SanitizationCollisionsGetDeterministicSuffixes)
+{
+    // "a.b" and "a-b" both flatten to "a_b"; the second metric
+    // must not repeat the first one's name (and HELP/TYPE block).
+    obs::StatRegistry reg;
+    reg.addScalar("a.b", 1.0, "first");
+    reg.addScalar("a-b", 2.0, "second");
+    const std::string text = reg.dumpPrometheus();
+    EXPECT_NE(text.find("uatm_a_b 1\n"), std::string::npos);
+    EXPECT_NE(text.find("uatm_a_b_2 2\n"), std::string::npos);
+    // Exactly one TYPE line per final metric name.
+    EXPECT_NE(text.find("# TYPE uatm_a_b gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE uatm_a_b_2 gauge\n"),
+              std::string::npos);
+}
+
+TEST(Prometheus, GaugeCollidingWithHistogramSeriesIsRenamed)
+{
+    // A histogram "lat" owns lat_bucket/lat_sum/lat_count; a
+    // gauge that sanitizes to "lat_count" would corrupt the
+    // histogram's series and must be deflected.
+    obs::LatencyHistogram hist(1.0, 2.0, 4);
+    hist.add(1.0);
+    obs::StatRegistry reg;
+    reg.addLatencyHistogram("lat", hist, "latency", "");
+    reg.addScalar("lat.count", 7.0, "imposter");
+    const std::string text = reg.dumpPrometheus();
+    // The histogram's own count series survives untouched...
+    EXPECT_NE(text.find("uatm_lat_count 1\n"),
+              std::string::npos);
+    // ...and the gauge got a deterministic suffix.
+    EXPECT_NE(text.find("uatm_lat_count_2 7\n"),
+              std::string::npos);
+}
+
+TEST(Prometheus, LabelNamesAreSanitizedWithoutColons)
+{
+    // Label names use the stricter charset: [a-zA-Z_][a-zA-Z0-9_]*
+    // — no ':' (that is only legal in metric names).
+    obs::StatRegistry reg;
+    reg.addScalar("x", 1.0, "d");
+    const std::string text = reg.dumpPrometheus(
+        "uatm", {{"run:id", "r1"}, {"9bad.name", "v"}});
+    EXPECT_NE(text.find("run_id=\"r1\""), std::string::npos);
+    EXPECT_EQ(text.find("run:id"), std::string::npos);
+    EXPECT_EQ(text.find("9bad.name"), std::string::npos);
+}
+
+TEST(Prometheus, NonFiniteValuesUseExpositionTokens)
+{
+    // The exposition format spells non-finite values "NaN",
+    // "+Inf", "-Inf" — never printf's "nan"/"inf" casings, which
+    // scrapers reject.
+    obs::StatRegistry reg;
+    reg.addFormula(
+        "bad.ratio", [] { return 0.0 / 0.0; }, "nan formula");
+    reg.addFormula(
+        "hot.ratio", [] { return 1.0 / 0.0; }, "inf formula");
+    std::istringstream in(reg.dumpPrometheus());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::string value =
+            line.substr(line.rfind(' ') + 1);
+        EXPECT_TRUE(value == "NaN" || value == "+Inf")
+            << line;
+    }
+}
+
 TEST(Prometheus, HistogramBucketsAreCumulativeAndConsistent)
 {
     obs::LatencyHistogram hist(1.0, 2.0, 8);
@@ -522,9 +593,10 @@ TEST(Prometheus, HistogramBucketsAreCumulativeAndConsistent)
     std::size_t buckets = 0;
     while (std::getline(in, line)) {
         if (line.rfind("# TYPE", 0) == 0 &&
-            line.find("lat") != std::string::npos)
+            line.find("lat") != std::string::npos) {
             EXPECT_NE(line.find("histogram"), std::string::npos)
                 << line;
+        }
         if (line.empty() || line[0] == '#')
             continue;
         const auto space = line.rfind(' ');

@@ -600,6 +600,100 @@ TEST(OptionParser, UnknownOptionIsFatal)
                 "unknown option");
 }
 
+// ------------------------------------ OptionParser::tryParse, typed
+
+TEST(OptionParser, TryParseAcceptsValidArgv)
+{
+    OptionParser p("prog");
+    p.addInt("n", 1, "n");
+    p.addFlag("fast", "fast");
+    const char *argv[] = {"prog", "--n=42", "--fast"};
+    bool helped = true;
+    EXPECT_TRUE(p.tryParse(3, argv, &helped).ok());
+    EXPECT_FALSE(helped);
+    EXPECT_EQ(p.getInt("n"), 42);
+    EXPECT_TRUE(p.getFlag("fast"));
+}
+
+TEST(OptionParser, TryParseHelpSetsFlagAndStaysOk)
+{
+    OptionParser p("prog");
+    p.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--help"};
+    bool helped = false;
+    EXPECT_TRUE(p.tryParse(2, argv, &helped).ok());
+    EXPECT_TRUE(helped);
+}
+
+TEST(OptionParser, TryParseRejectsRepeatedOption)
+{
+    // Repetition is ambiguous — neither first- nor last-wins is
+    // obviously right — so both spellings are typed errors, not
+    // silent overwrites.
+    OptionParser p("prog");
+    p.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--n=1", "--n=2"};
+    const Status status = p.tryParse(3, argv);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("more than once"),
+              std::string::npos);
+}
+
+TEST(OptionParser, TryParseRejectsRepeatedFlag)
+{
+    OptionParser p("prog");
+    p.addFlag("fast", "fast");
+    const char *argv[] = {"prog", "--fast", "--fast"};
+    const Status status = p.tryParse(3, argv);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+}
+
+TEST(OptionParser, TryParseRejectsEmptyEqualsValue)
+{
+    // "--name=" is indistinguishable from a typo; omitting the
+    // option is how you ask for the default.
+    OptionParser p("prog");
+    p.addString("out", "default", "out");
+    const char *argv[] = {"prog", "--out="};
+    const Status status = p.tryParse(2, argv);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("empty value"),
+              std::string::npos);
+}
+
+TEST(OptionParser, TryParseRejectsUnknownAndPositional)
+{
+    OptionParser p("prog");
+    p.addInt("n", 1, "n");
+    {
+        const char *argv[] = {"prog", "--bogus"};
+        const Status status = p.tryParse(2, argv);
+        ASSERT_FALSE(status.ok());
+        EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    }
+    {
+        OptionParser q("prog");
+        q.addInt("n", 1, "n");
+        const char *argv[] = {"prog", "stray"};
+        const Status status = q.tryParse(2, argv);
+        ASSERT_FALSE(status.ok());
+        EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+TEST(OptionParser, TryParseRejectsMissingValue)
+{
+    OptionParser p("prog");
+    p.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--n"};
+    const Status status = p.tryParse(2, argv);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+}
+
 // ------------------------------------------------- Status, Expected
 
 TEST(Status, DefaultIsOk)
@@ -634,6 +728,8 @@ TEST(Status, EveryCodeHasAName)
                  "out_of_range");
     EXPECT_STREQ(errorCodeName(ErrorCode::KernelError),
                  "kernel_error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Unavailable),
+                 "unavailable");
 }
 
 TEST(Expected, HoldsValueOrStatus)
